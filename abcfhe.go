@@ -1,0 +1,237 @@
+// Package abcfhe is the public API of this repository: a from-scratch Go
+// reproduction of "ABC-FHE: A Resource-Efficient Accelerator Enabling
+// Bootstrappable Parameters for Client-Side Fully Homomorphic Encryption"
+// (Yune et al., DAC 2025).
+//
+// Two layers are exposed:
+//
+//   - Client: a working CKKS client (encode/encrypt/decrypt/decode over
+//     bootstrappable parameter sets, N = 2^13..2^16, 36-bit double-scale
+//     RNS chains) built entirely from this repository's substrates.
+//   - Accelerator: the modeled ABC-FHE chip — cycle-level latency,
+//     throughput, and the 28 nm area/power composition — plus every
+//     experiment of the paper's evaluation section (see Experiments).
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package abcfhe
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/ckks"
+	"repro/internal/core"
+	"repro/internal/fftfp"
+	"repro/internal/prng"
+)
+
+// ---------------------------------------------------------------------
+// Functional CKKS client
+// ---------------------------------------------------------------------
+
+// Preset names a parameter set.
+type Preset string
+
+const (
+	// PN16 is the paper's evaluation configuration: N = 2^16, 24 limbs of
+	// 36-bit primes (12 double-scale levels), sparse ternary secret.
+	PN16 Preset = "PN16"
+	// PN15, PN14, PN13 are the smaller bootstrappable-range degrees the
+	// paper sweeps in Fig. 6b.
+	PN15 Preset = "PN15"
+	PN14 Preset = "PN14"
+	PN13 Preset = "PN13"
+	// Test is a small, fast set for experimentation (N = 2^10, 4 limbs).
+	Test Preset = "Test"
+)
+
+func (p Preset) spec() (ckks.ParamSpec, error) {
+	switch p {
+	case PN16:
+		return ckks.PN16, nil
+	case PN15:
+		return ckks.PN15, nil
+	case PN14:
+		return ckks.PN14, nil
+	case PN13:
+		return ckks.PN13, nil
+	case Test:
+		return ckks.TestParams, nil
+	}
+	return ckks.ParamSpec{}, fmt.Errorf("abcfhe: unknown preset %q", p)
+}
+
+// Client bundles keys and engines for the client-side CKKS workflow the
+// accelerator targets: Encode+Encrypt outbound, Decrypt+Decode inbound.
+type Client struct {
+	params    *ckks.Parameters
+	encoder   *ckks.Encoder
+	encryptor *ckks.Encryptor
+	decryptor *ckks.Decryptor
+	evaluator *ckks.Evaluator
+	secret    *ckks.SecretKey
+	public    *ckks.PublicKey
+	seeded    *ckks.SeededEncryptor
+	seedCopy  [16]byte
+}
+
+// Ciphertext is an encrypted message (RLWE pair in the coefficient
+// domain, carrying its level and scale).
+type Ciphertext = ckks.Ciphertext
+
+// Plaintext is an encoded (but unencrypted) message.
+type Plaintext = ckks.Plaintext
+
+// NewClient builds a client for the preset with a 128-bit seed (all key
+// material and encryption randomness derive deterministically from it —
+// the property the accelerator's on-chip PRNG exploits).
+func NewClient(preset Preset, seedLo, seedHi uint64) (*Client, error) {
+	spec, err := preset.spec()
+	if err != nil {
+		return nil, err
+	}
+	params, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	seed := prng.SeedFromUint64s(seedLo, seedHi)
+	kg := ckks.NewKeyGenerator(params, seed)
+	sk, pk := kg.GenKeyPair()
+	return &Client{
+		params:    params,
+		encoder:   ckks.NewEncoder(params),
+		encryptor: ckks.NewEncryptor(params, pk, seed),
+		decryptor: ckks.NewDecryptor(params, sk),
+		evaluator: ckks.NewEvaluator(params),
+		secret:    sk,
+		public:    pk,
+		seedCopy:  seed,
+	}, nil
+}
+
+// Slots returns the number of complex message slots (N/2).
+func (c *Client) Slots() int { return c.params.Slots() }
+
+// MaxLevel returns the RNS depth fresh ciphertexts carry.
+func (c *Client) MaxLevel() int { return c.params.MaxLevel() }
+
+// EncodeEncrypt runs the outbound client pipeline: IFFT encoding, RNS
+// expansion, and public-key encryption at full depth.
+func (c *Client) EncodeEncrypt(msg []complex128) *Ciphertext {
+	return c.encryptor.Encrypt(c.encoder.Encode(msg))
+}
+
+// DecryptDecode runs the inbound pipeline: decryption at the ciphertext's
+// level, CRT combination and FFT decoding.
+func (c *Client) DecryptDecode(ct *Ciphertext) []complex128 {
+	return c.encoder.Decode(c.decryptor.Decrypt(ct))
+}
+
+// Encode encodes without encrypting (plaintext-side tooling).
+func (c *Client) Encode(msg []complex128) *Plaintext { return c.encoder.Encode(msg) }
+
+// Evaluator exposes keyless homomorphic operations (add, sub, plaintext
+// multiply, rescale, level drop) for server-side simulation in examples.
+func (c *Client) Evaluator() *ckks.Evaluator { return c.evaluator }
+
+// ---------------------------------------------------------------------
+// Modeled accelerator
+// ---------------------------------------------------------------------
+
+// Accelerator is the modeled ABC-FHE chip.
+type Accelerator struct {
+	sys core.System
+}
+
+// NewAccelerator returns the paper-configured accelerator model.
+func NewAccelerator() *Accelerator { return &Accelerator{sys: core.Default()} }
+
+// WithLanes reconfigures the per-PNL lane count (Fig. 5b's sweep axis).
+func (a *Accelerator) WithLanes(p int) *Accelerator {
+	return &Accelerator{sys: a.sys.WithLanes(p)}
+}
+
+// WithDegree reconfigures the polynomial degree 2^logN.
+func (a *Accelerator) WithDegree(logN int) *Accelerator {
+	return &Accelerator{sys: a.sys.WithDegree(logN)}
+}
+
+// Summary reports the headline card: area, power (28 nm and 7 nm),
+// client-operation latencies, throughput, and operation counts.
+type Summary = core.Summary
+
+// Summarize evaluates the accelerator model once.
+func (a *Accelerator) Summarize() Summary { return a.sys.Summarize() }
+
+// EncodeEncryptMS returns the simulated encode+encrypt latency (ms).
+func (a *Accelerator) EncodeEncryptMS() float64 { return a.sys.EncodeEncrypt().TimeMS }
+
+// DecodeDecryptMS returns the simulated decode+decrypt latency (ms).
+func (a *Accelerator) DecodeDecryptMS() float64 { return a.sys.DecodeDecrypt().TimeMS }
+
+// ---------------------------------------------------------------------
+// Experiments
+// ---------------------------------------------------------------------
+
+// Experiments lists the reproducible tables/figures of the paper.
+func Experiments() []string { return bench.IDs() }
+
+// RunExperiment regenerates one table/figure and returns its rendered
+// text. fast trades fidelity (smaller rings) for speed.
+func RunExperiment(id string, fast bool) (string, error) {
+	r, err := bench.Run(id, bench.Options{Fast: fast})
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// FP55MantissaBits is the custom floating-point mantissa width the RFE
+// uses (paper Fig. 3c: ≥43 bits keeps bootstrapping precision above the
+// 19.29-bit threshold).
+const FP55MantissaBits = fftfp.FP55Mantissa
+
+// ---------------------------------------------------------------------
+// Wire formats and compressed uploads
+// ---------------------------------------------------------------------
+
+// SerializeCiphertext encodes ct in the packed 44-bit wire format — the
+// exact byte stream the accelerator's DRAM/wire accounting charges.
+func (c *Client) SerializeCiphertext(ct *Ciphertext) ([]byte, error) {
+	return c.params.MarshalCiphertext(ct, true)
+}
+
+// DeserializeCiphertext reverses SerializeCiphertext, validating every
+// residue against the parameter set.
+func (c *Client) DeserializeCiphertext(data []byte) (*Ciphertext, error) {
+	return c.params.UnmarshalCiphertext(data)
+}
+
+// EncodeEncryptCompressed runs the seeded upload path: encode, encrypt
+// with a PRNG-derived mask, and serialize only (c0, 16-byte seed) — about
+// half the bytes of a full ciphertext. The key owner's secret key is used
+// (seeded encryption is the fresh-upload form).
+func (c *Client) EncodeEncryptCompressed(msg []complex128) ([]byte, error) {
+	if c.seeded == nil {
+		c.seeded = ckks.NewSeededEncryptor(c.params, c.secret, c.seedCopy)
+	}
+	sct := c.seeded.Encrypt(c.encoder.Encode(msg))
+	return c.params.MarshalSeeded(sct)
+}
+
+// ExpandCompressedUpload is the server-side inverse: parse the compressed
+// form and regenerate c1 from the embedded seed. No key material needed.
+func (c *Client) ExpandCompressedUpload(data []byte) (*Ciphertext, error) {
+	sct, err := c.params.UnmarshalSeeded(data)
+	if err != nil {
+		return nil, err
+	}
+	return c.params.Expand(sct), nil
+}
+
+// CiphertextWireBytes reports the packed wire size of a full ciphertext
+// at the given level; CompressedWireBytes the seeded form's size.
+func (c *Client) CiphertextWireBytes(level int) int { return c.params.CiphertextWireBytes(level) }
+
+// CompressedWireBytes reports the seeded upload's wire size at a level.
+func (c *Client) CompressedWireBytes(level int) int { return c.params.SeededWireBytes(level) }

@@ -1,0 +1,155 @@
+package abcfhe
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestClientRoundTrip(t *testing.T) {
+	c, err := NewClient(Test, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]complex128, c.Slots())
+	for i := range msg {
+		msg[i] = complex(float64(i%7)/7-0.5, float64(i%11)/11-0.5)
+	}
+	ct := c.EncodeEncrypt(msg)
+	if ct.Level != c.MaxLevel() {
+		t.Fatal("fresh ciphertext must be at full depth")
+	}
+	got := c.DecryptDecode(ct)
+	for i := range msg {
+		if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
+			t.Fatalf("slot %d error %g", i, cmplx.Abs(got[i]-msg[i]))
+		}
+	}
+}
+
+func TestClientServerFlow(t *testing.T) {
+	// The paper's deployment: client encrypts at full depth, server
+	// computes and returns a 2-limb ciphertext, client decrypts it.
+	c, err := NewClient(Test, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]complex128, c.Slots())
+	for i := range msg {
+		msg[i] = complex(0.25, -0.125)
+	}
+	ct := c.EncodeEncrypt(msg)
+	ev := c.Evaluator()
+	doubled := ev.Add(ct, ct)         // server-side work
+	small := ev.DropLevel(doubled, 2) // server returns 2-limb state
+	got := c.DecryptDecode(small)
+	for i := range got {
+		if cmplx.Abs(got[i]-complex(0.5, -0.25)) > 1e-4 {
+			t.Fatalf("slot %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	if _, err := NewClient(Preset("bogus"), 0, 0); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestAcceleratorSummary(t *testing.T) {
+	a := NewAccelerator()
+	s := a.Summarize()
+	if s.AreaMM2 < 25 || s.AreaMM2 > 32 {
+		t.Fatalf("area %.2f mm² far from Table II's 28.638", s.AreaMM2)
+	}
+	if s.PowerW < 4.5 || s.PowerW > 7 {
+		t.Fatalf("power %.2f W far from Table II's 5.654", s.PowerW)
+	}
+	if s.EncMS <= 0 || s.DecMS <= 0 || s.DecMS > s.EncMS {
+		t.Fatalf("latency ordering wrong: enc %.4f dec %.4f", s.EncMS, s.DecMS)
+	}
+	if s.EncMOPs < 25 || s.EncMOPs > 29 {
+		t.Fatalf("enc MOPs %.1f far from paper's 27.0", s.EncMOPs)
+	}
+	// Reconfiguration helpers return modified copies.
+	if NewAccelerator().WithLanes(4).EncodeEncryptMS() <= a.EncodeEncryptMS() {
+		t.Fatal("fewer lanes must not be faster")
+	}
+	if NewAccelerator().WithDegree(14).EncodeEncryptMS() >= a.EncodeEncryptMS() {
+		t.Fatal("smaller degree must be faster")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 14 {
+		t.Fatalf("expected 12 experiments, have %v", ids)
+	}
+	out, err := RunExperiment("table1", true)
+	if err != nil || out == "" {
+		t.Fatalf("table1: %v", err)
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestSerializationAPI(t *testing.T) {
+	c, err := NewClient(Test, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]complex128, 8)
+	for i := range msg {
+		msg[i] = complex(0.1*float64(i), -0.05*float64(i))
+	}
+	ct := c.EncodeEncrypt(msg)
+	data, err := c.SerializeCiphertext(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != c.CiphertextWireBytes(ct.Level) {
+		t.Fatalf("wire size %d != reported %d", len(data), c.CiphertextWireBytes(ct.Level))
+	}
+	back, err := c.DeserializeCiphertext(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.DecryptDecode(back)
+	for i := range msg {
+		if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
+			t.Fatalf("slot %d after wire round trip: %v", i, got[i])
+		}
+	}
+}
+
+func TestCompressedUploadAPI(t *testing.T) {
+	c, err := NewClient(Test, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]complex128, c.Slots())
+	for i := range msg {
+		msg[i] = complex(0.25, -0.25)
+	}
+	data, err := c.EncodeEncryptCompressed(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.CiphertextWireBytes(c.MaxLevel())
+	if float64(len(data)) > 0.52*float64(full) {
+		t.Fatalf("compressed upload %d bytes not ≈half of %d", len(data), full)
+	}
+	if len(data) != c.CompressedWireBytes(c.MaxLevel()) {
+		t.Fatal("compressed size does not match the reported wire size")
+	}
+	ct, err := c.ExpandCompressedUpload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.DecryptDecode(ct)
+	for i := range msg {
+		if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
+			t.Fatalf("slot %d after compressed round trip: %v", i, got[i])
+		}
+	}
+}

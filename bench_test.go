@@ -1,0 +1,115 @@
+package abcfhe
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (regenerating the experiment end to end), plus micro-benchmarks of the
+// client primitives the accelerator targets. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks use reduced problem sizes (Options.Fast) so a
+// full -bench=. sweep completes in minutes; `go run ./cmd/abcbench` runs
+// the paper-scale versions.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/prng"
+	"repro/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(id, bench.Options{Fast: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 1: client/server execution-time breakdown (ResNet20-FHE).
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Fig. 2: client-side operation analysis (27.0 vs 2.9 MOPs).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Fig. 3c: precision vs floating-point mantissa width (FP55 selection).
+func BenchmarkFig3c(b *testing.B) { benchExperiment(b, "fig3c") }
+
+// Fig. 4: twiddle scheduling and multiplier design-space exploration.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Table I: modular multiplier area/pipeline comparison.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table II: chip area/power breakdown (+7 nm scaling).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Fig. 5a: latency and speed-up vs CPU and prior accelerators.
+func BenchmarkFig5a(b *testing.B) { benchExperiment(b, "fig5a") }
+
+// Fig. 5b: PNL lane sweep against the LPDDR5 ceiling.
+func BenchmarkFig5b(b *testing.B) { benchExperiment(b, "fig5b") }
+
+// Fig. 6a: RFE area ablation (TF scheduling, MontMul, reconfigurability).
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// Fig. 6b: on-chip generation ablation across polynomial degrees.
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// §IV-B: on-chip memory accounting (>99.9% reduction claim).
+func BenchmarkMemClaim(b *testing.B) { benchExperiment(b, "memclaim") }
+
+// §IV-A: NTT-friendly prime census (443-prime claim).
+func BenchmarkPrimeCensus(b *testing.B) { benchExperiment(b, "primes") }
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks: the client primitives themselves.
+// ---------------------------------------------------------------------
+
+func benchClient(b *testing.B) (*Client, []complex128) {
+	b.Helper()
+	c, err := NewClient(Test, 7, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]complex128, c.Slots())
+	src := prng.NewSource(prng.SeedFromUint64s(1, 2), 0)
+	for i := range msg {
+		msg[i] = complex(src.Float64()-0.5, src.Float64()-0.5)
+	}
+	return c, msg
+}
+
+func BenchmarkClientEncodeEncrypt(b *testing.B) {
+	c, msg := benchClient(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeEncrypt(msg)
+	}
+}
+
+func BenchmarkClientDecryptDecode(b *testing.B) {
+	c, msg := benchClient(b)
+	ct := c.EncodeEncrypt(msg)
+	low := c.Evaluator().DropLevel(ct, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecryptDecode(low)
+	}
+}
+
+func BenchmarkAcceleratorModel(b *testing.B) {
+	cfg := sim.PaperConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.EncodeEncrypt(1)
+		cfg.DecodeDecrypt(1)
+	}
+}
+
+// Extension: seeded-ciphertext bandwidth ablation.
+func BenchmarkSeededAblation(b *testing.B) { benchExperiment(b, "seeded") }
+
+// Extension: architecture design-space sweep.
+func BenchmarkArchSweep(b *testing.B) { benchExperiment(b, "archsweep") }

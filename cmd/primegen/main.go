@@ -1,0 +1,56 @@
+// Command primegen searches the ABC-FHE NTT-friendly prime family
+// (Q = 2^bw + k·2^(n+1) + 1, k = ±2^a ± 2^b ± 2^c, paper Eq. 8) and prints
+// the census the paper reports in §IV-A (443 primes in the 32–36 bit range
+// for N = 2^16).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/primes"
+)
+
+func main() {
+	minBits := flag.Int("min", 32, "minimum prime bit length")
+	maxBits := flag.Int("max", 36, "maximum prime bit length")
+	logN := flag.Int("logn", 16, "log2 of the polynomial degree N")
+	maxTerms := flag.Int("terms", 3, "maximum signed power-of-two terms in k")
+	list := flag.Bool("list", false, "list every prime with its decomposition")
+	flag.Parse()
+
+	if *minBits > *maxBits || *minBits < *logN+2 {
+		fmt.Fprintln(os.Stderr, "primegen: invalid bit range")
+		os.Exit(2)
+	}
+
+	total, per := primes.Census(*minBits, *maxBits, *logN, *maxTerms)
+	pTotal, pPer := primes.CensusPaper(*minBits, *maxBits, *logN)
+	bitLens := make([]int, 0, len(per))
+	for b := range per {
+		bitLens = append(bitLens, b)
+	}
+	sort.Ints(bitLens)
+
+	fmt.Printf("NTT-friendly prime census (N=2^%d, k with ≤%d signed power-of-two terms)\n", *logN, *maxTerms)
+	for _, b := range bitLens {
+		fmt.Printf("  %2d-bit: %4d primes\n", b, per[b])
+	}
+	fmt.Printf("  total : %4d primes (broad census: any sign, ≤%d terms)\n", total, *maxTerms)
+	fmt.Printf("strict Eq. 8 census (k<0, exactly 3 terms, feasibility condition):\n")
+	for _, b := range bitLens {
+		fmt.Printf("  %2d-bit: %4d primes\n", b, pPer[b])
+	}
+	fmt.Printf("  total : %4d primes (paper §IV-A reports 443 for 32–36 bit)\n", pTotal)
+
+	if *list {
+		for _, b := range bitLens {
+			for _, f := range primes.Search(b, *logN, *maxTerms) {
+				fmt.Printf("Q=%d (%d bits)  k=%d  terms=%v  NAF weight(Q)=%d\n",
+					f.Q, b, f.K, f.Terms, primes.NAFWeight(f.Q))
+			}
+		}
+	}
+}

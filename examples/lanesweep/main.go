@@ -1,0 +1,43 @@
+// lanesweep explores the architecture question behind paper Fig. 5b: how
+// many pipelined-NTT lanes should a client accelerator have before LPDDR5
+// bandwidth, not compute, limits it? It sweeps the lane count and prints
+// the latency/throughput curve with the compute/DRAM crossover marked.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	base := sim.PaperConfig()
+	fmt.Printf("encode+encrypt at N=2^%d, %d limbs, LPDDR5 %.1f GB/s, %d PNLs/core\n\n",
+		base.LogN, base.Limbs, base.DRAMGBps, base.PNLs)
+	fmt.Printf("%6s  %12s  %14s  %s\n", "lanes", "latency (ms)", "throughput/s", "bound by")
+
+	for _, p := range sim.LaneSweep(base, []int{1, 2, 4, 8, 16, 32, 64}) {
+		bound := "compute"
+		marker := ""
+		if p.DRAMBound {
+			bound = "DRAM"
+		}
+		if p.Lanes == 8 {
+			marker = "   <-- ABC-FHE ships here (paper Fig. 5b)"
+		}
+		fmt.Printf("%6d  %12.3f  %14.0f  %-7s%s\n",
+			p.Lanes, p.EncTimeMS, p.ThroughputCt, bound, marker)
+	}
+
+	fmt.Println("\nBeyond 8 lanes the LPDDR5 stream is saturated: more compute buys nothing.")
+	fmt.Println("With faster memory the crossover moves — try doubling bandwidth:")
+	fast := base
+	fast.DRAMGBps *= 2
+	for _, p := range sim.LaneSweep(fast, []int{8, 16, 32}) {
+		bound := "compute"
+		if p.DRAMBound {
+			bound = "DRAM"
+		}
+		fmt.Printf("%6d  %12.3f  %14.0f  %s\n", p.Lanes, p.EncTimeMS, p.ThroughputCt, bound)
+	}
+}

@@ -1,0 +1,43 @@
+// precision reproduces the Fig. 3c study interactively: sweep the
+// floating-point mantissa width of the Fourier engine and watch the
+// usable precision drop off — the experiment that justifies the paper's
+// custom 55-bit float (43 mantissa bits) over FP64.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/fftfp"
+)
+
+func main() {
+	logN := flag.Int("logn", 13, "ring degree exponent (paper uses 16; 13 runs in seconds)")
+	flag.Parse()
+
+	e := fftfp.NewEmbedder(*logN)
+	threshold := 19.29 // the SHARP-derived sufficiency bar the paper uses
+
+	fmt.Printf("precision vs mantissa width at N=2^%d (threshold %.2f bits)\n\n", *logN, threshold)
+	fmt.Printf("%9s  %12s  %12s  %s\n", "mantissa", "round-trip", "boot proxy", "")
+
+	var proxy []fftfp.PrecisionResult
+	for m := 25; m <= 52; m += 3 {
+		rt := fftfp.RoundTripPrecision(e, m, 7)
+		bp := fftfp.BootPrecisionProxy(e, m, 7)
+		proxy = append(proxy, bp)
+		mark := ""
+		if bp.Bits >= threshold {
+			mark = "meets threshold"
+		}
+		if m == fftfp.FP55Mantissa {
+			mark += "   <-- FP55 (paper's choice)"
+		}
+		fmt.Printf("%9d  %12.2f  %12.2f  %s\n", m, rt.Bits, bp.Bits, mark)
+	}
+
+	drop := fftfp.DropOffPoint(proxy, threshold)
+	fmt.Printf("\ndrop-off point: %d mantissa bits", drop)
+	fmt.Println(" (paper: 43 bits -> 23.39 boot-precision bits at N=2^16)")
+	fmt.Println("precision climbs ~1 bit per mantissa bit and saturates at the float64 ceiling.")
+}

@@ -1,0 +1,54 @@
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/ckks"
+	"repro/internal/prng"
+)
+
+// MeasureCPU times our own from-scratch Go CKKS client on the host — the
+// independent CPU baseline (DESIGN.md: speed-ups are reported both against
+// the paper's published CPU reference and against this live measurement,
+// so the comparison never rests on anchors alone).
+//
+// The returned latencies are per-operation wall-clock milliseconds for
+// encode+encrypt at full depth and decrypt+decode at decLimbs.
+func MeasureCPU(spec ckks.ParamSpec, decLimbs, iters int) (encMS, decMS float64, err error) {
+	params, err := spec.Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	seed := prng.SeedFromUint64s(0xABC0FE, 0xBC0FE)
+	kg := ckks.NewKeyGenerator(params, seed)
+	sk, pk := kg.GenKeyPair()
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptor(params, pk, seed)
+	dec := ckks.NewDecryptor(params, sk)
+	ev := ckks.NewEvaluator(params)
+
+	msg := make([]complex128, params.Slots())
+	src := prng.NewSource(seed, 999)
+	for i := range msg {
+		msg[i] = complex(src.Float64()*2-1, src.Float64()*2-1)
+	}
+
+	if iters < 1 {
+		iters = 1
+	}
+
+	start := time.Now()
+	var ct *ckks.Ciphertext
+	for i := 0; i < iters; i++ {
+		ct = encryptor.Encrypt(enc.Encode(msg))
+	}
+	encMS = float64(time.Since(start).Milliseconds()) / float64(iters)
+
+	low := ev.DropLevel(ct, decLimbs)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		_ = enc.Decode(dec.Decrypt(low))
+	}
+	decMS = float64(time.Since(start).Milliseconds()) / float64(iters)
+	return encMS, decMS, nil
+}

@@ -1,0 +1,85 @@
+package baseline
+
+// Structured facts about the prior client-side accelerators the paper
+// compares against (its references [3], [10], [22], [34]) and the
+// normalization each one needs before a fair comparison. The facts below
+// come from the paper's own §I/§V discussion; absolute latencies are not
+// restated in the paper and are therefore represented through the
+// published aggregate speed-ups (see AnchoredSet), never invented here.
+
+// PriorWork describes one comparison system.
+type PriorWork struct {
+	Name     string
+	PaperRef string // the citation number in the ABC-FHE paper
+	Venue    string
+	Platform string // ASIC / FPGA / SoC
+
+	// MaxLogN is the largest polynomial degree the design supports; all
+	// four prior designs stop below bootstrappable sizes (the paper's
+	// first limitation claim: "constrained to small FHE parameters,
+	// e.g. N = 2^13").
+	MaxLogN int
+
+	// Bootstrappable reports whether the design reaches N ≥ 2^14.
+	Bootstrappable bool
+
+	// Streaming reports whether the architecture streams (the paper's
+	// second limitation claim: prior non-streaming designs hit DRAM
+	// bandwidth walls when scaled).
+	Streaming bool
+
+	// ParamsOnDRAM reports whether the design fetches twiddles/keys from
+	// DRAM (the paper's third claim, aimed at [34]).
+	ParamsOnDRAM bool
+
+	Note string
+}
+
+// PriorWorks returns the comparison set.
+func PriorWorks() []PriorWork {
+	return []PriorWork{
+		{
+			Name: "RACE", PaperRef: "[3]", Venue: "ISLPED 2022", Platform: "RISC-V SoC",
+			MaxLogN: 13, Bootstrappable: false, Streaming: false, ParamsOnDRAM: true,
+			Note: "en/decryption acceleration on the edge; small parameters only",
+		},
+		{
+			Name: "Di Matteo et al.", PaperRef: "[10]", Venue: "IEEE Access 2023", Platform: "FPGA",
+			MaxLogN: 13, Bootstrappable: false, Streaming: false, ParamsOnDRAM: true,
+			Note: "NTT accelerator for the SEAL-Embedded library",
+		},
+		{
+			Name: "ALOHA-HE", PaperRef: "[22]", Venue: "DATE 2024", Platform: "FPGA",
+			MaxLogN: 13, Bootstrappable: false, Streaming: false, ParamsOnDRAM: true,
+			Note: "low-area client-side operations; frequency-normalized in Fig. 5a",
+		},
+		{
+			Name: "Wang et al.", PaperRef: "[34]", Venue: "TCAS-II 2024", Platform: "ASIC",
+			MaxLogN: 13, Bootstrappable: false, Streaming: false, ParamsOnDRAM: true,
+			Note: "SOTA compact RNS-CKKS en/decoding + en/decryption; fetches parameters from DRAM (the paper's bandwidth-bottleneck example)",
+		},
+	}
+}
+
+// NormalizationFor explains the adjustment chain the paper applies to a
+// prior work before comparing at (logN, limbs): frequency rescaling to
+// 600 MHz plus operation-proportion scaling from the design's native
+// parameters to the bootstrappable target. Returned as the multiplier
+// applied to the design's reported latency and a human-readable formula.
+func NormalizationFor(w PriorWork, targetOps, nativeOps, nativeFreqMHz float64) (multiplier float64, formula string) {
+	const abcFreq = 600.0
+	mult := (nativeFreqMHz / abcFreq) * (targetOps / nativeOps)
+	return mult, "latency × (f_native/600MHz) × (ops_target/ops_native)"
+}
+
+// SupportsBootstrappableCount counts prior designs that reach
+// bootstrappable parameters — zero, which is the paper's motivation.
+func SupportsBootstrappableCount() int {
+	n := 0
+	for _, w := range PriorWorks() {
+		if w.Bootstrappable {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunFast(t *testing.T) {
+	for _, id := range IDs() {
+		r, err := Run(id, Options{Fast: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID != id {
+			t.Fatalf("%s: result carries ID %q", id, r.ID)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(r.Header) {
+				t.Fatalf("%s: row width %d != header width %d", id, len(row), len(r.Header))
+			}
+		}
+		out := r.Render()
+		if !strings.Contains(out, r.Title) {
+			t.Fatalf("%s: render missing title", id)
+		}
+		csv := r.CSV()
+		if strings.Count(csv, "\n") != len(r.Rows)+1 {
+			t.Fatalf("%s: CSV line count wrong", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"archsweep", "fig1", "fig2", "fig3c", "fig4", "fig5a",
+		"fig5b", "fig6a", "fig6b", "memclaim", "primes", "seeded", "table1",
+		"table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("experiment list %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiment list %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ckks
+
+import (
+	"math"
+
+	"repro/internal/ring"
+)
+
+// Plaintext is an encoded message: an RNS polynomial at some level carrying
+// a scale. Domain is the coefficient domain after encoding (the form the
+// Expand-RNS stage emits, paper Fig. 2a).
+type Plaintext struct {
+	Value *ring.Poly
+	Level int
+	Scale float64
+}
+
+// Encoder maps complex message vectors to plaintext polynomials and back:
+// IFFT + Expand RNS one way, Combine CRT + FFT the other. The floating
+// transforms run in the parameter set's mantissa context, so building
+// Parameters with MantBits: fftfp.FP55Mantissa reproduces the
+// accelerator's FP55 datapath bit-for-bit at the model level.
+type Encoder struct {
+	params *Parameters
+
+	// pow2 tables per limb: pow2[i][e] = 2^e mod q_i, for the exact
+	// float→RNS path (see encodeCoeff). Covers e ∈ [0, maxPow2).
+	pow2 [][]uint64
+}
+
+const maxPow2 = 160 // coefficient magnitudes < 2^160 — far above any scale used
+
+// NewEncoder builds the encoder and its power-of-two residue tables.
+func NewEncoder(params *Parameters) *Encoder {
+	enc := &Encoder{params: params}
+	r := params.Ring()
+	enc.pow2 = make([][]uint64, r.K())
+	for i, m := range r.Basis.Moduli {
+		tbl := make([]uint64, maxPow2)
+		tbl[0] = 1
+		for e := 1; e < maxPow2; e++ {
+			tbl[e] = m.Add(tbl[e-1], tbl[e-1])
+		}
+		enc.pow2[i] = tbl
+	}
+	return enc
+}
+
+// encodeCoeff writes round(v·2^logScale) into limbs[i][j] for every limb i.
+// The path is exact: v = ±M·2^(exp-53) with M the 53-bit mantissa, so
+// v·2^logScale = ±M·2^e with e = exp-53+logScale, and the residue is
+// (M mod q)·(2^e mod q) — all in word arithmetic, no big integers
+// (this is what the MSE's Expand-RNS stage computes in hardware).
+func (enc *Encoder) encodeCoeff(v float64, j int, limbs [][]uint64) {
+	r := enc.params.Ring()
+	if v == 0 {
+		for i := range limbs {
+			limbs[i][j] = 0
+		}
+		return
+	}
+	neg := false
+	if v < 0 {
+		neg = true
+		v = -v
+	}
+	fr, exp := math.Frexp(v) // v = fr·2^exp, fr ∈ [0.5, 1)
+	m := uint64(fr * (1 << 53))
+	e := exp - 53 + enc.params.LogScale
+	if e < 0 {
+		// Shift mantissa right with round-to-nearest.
+		sh := uint(-e)
+		if sh > 54 {
+			m = 0
+		} else {
+			m = (m + (1 << (sh - 1))) >> sh
+		}
+		e = 0
+	}
+	if e >= maxPow2 {
+		panic("ckks: encoded coefficient exceeds supported magnitude")
+	}
+	for i := range limbs { // limbs may be a level-prefix of the full basis
+		mm := r.Basis.Moduli[i]
+		res := mm.Mul(m%mm.Q, enc.pow2[i][e])
+		if neg {
+			res = mm.Neg(res)
+		}
+		limbs[i][j] = res
+	}
+}
+
+// EncodeAtLevel encodes up to Slots() complex values into a plaintext at
+// the given level (limb count). Shorter messages are zero-padded.
+func (enc *Encoder) EncodeAtLevel(msg []complex128, level int) *Plaintext {
+	p := enc.params
+	if len(msg) > p.Slots() {
+		panic("ckks: message longer than slot count")
+	}
+	if level < 1 || level > p.MaxLevel() {
+		panic("ckks: level out of range")
+	}
+	e := p.Embedder()
+	vals := make([]fftfpComplex, p.Slots())
+	for i, z := range msg {
+		vals[i] = fftfpComplex{Re: real(z), Im: imag(z)}
+	}
+	coeffs := e.EncodeToCoeffs(vals, p.FFTCtx())
+
+	rl := p.RingAt(level)
+	pt := rl.NewPoly()
+	for j, v := range coeffs {
+		enc.encodeCoeff(v, j, pt.Coeffs)
+	}
+	return &Plaintext{Value: pt, Level: level, Scale: p.Scale()}
+}
+
+// Encode encodes at full depth (the client's encrypt-side configuration).
+func (enc *Encoder) Encode(msg []complex128) *Plaintext {
+	return enc.EncodeAtLevel(msg, enc.params.MaxLevel())
+}
+
+// Decode maps a plaintext back to complex slots: Combine CRT on every
+// coefficient (centered lift over the level's modulus), divide by the
+// scale, then the forward special FFT.
+func (enc *Encoder) Decode(pt *Plaintext) []complex128 {
+	p := enc.params
+	rl := p.RingAt(pt.Level)
+	val := pt.Value
+	if val.IsNTT {
+		val = rl.CopyPoly(val)
+		rl.INTT(val)
+	}
+	coeffs := make([]float64, p.N())
+	limbs := make([]uint64, pt.Level)
+	for j := 0; j < p.N(); j++ {
+		for i := 0; i < pt.Level; i++ {
+			limbs[i] = val.Coeffs[i][j]
+		}
+		coeffs[j] = rl.Basis.CombineCenteredFloat(limbs, pt.Scale)
+	}
+	slots := p.Embedder().DecodeFromCoeffs(coeffs, p.FFTCtx())
+	out := make([]complex128, p.Slots())
+	for i, v := range slots {
+		out[i] = complex(v.Re, v.Im)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package ckks
+
+import (
+	"repro/internal/fftfp"
+	"repro/internal/prng"
+	"repro/internal/ring"
+)
+
+// fftfpComplex aliases the reduced-precision complex type used by the
+// encoder's transform stage.
+type fftfpComplex = fftfp.Complex
+
+// Ciphertext is an RLWE pair (c0, c1) at some level with a scale.
+// Ciphertexts travel in the coefficient domain — the form the ABC-FHE
+// streaming pipeline emits to DRAM and the op-count analysis of paper
+// Fig. 2 assumes (decryption then pays one NTT on c1 and one INTT back).
+type Ciphertext struct {
+	C0, C1 *ring.Poly
+	Level  int
+	Scale  float64
+}
+
+// CopyCiphertext returns a deep copy.
+func (p *Parameters) CopyCiphertext(ct *Ciphertext) *Ciphertext {
+	rl := p.RingAt(ct.Level)
+	return &Ciphertext{
+		C0:    rl.CopyPoly(ct.C0),
+		C1:    rl.CopyPoly(ct.C1),
+		Level: ct.Level,
+		Scale: ct.Scale,
+	}
+}
+
+// Encryptor performs public-key RLWE encryption. Encryption randomness is
+// drawn from a seeded PRNG with a per-call stream counter, mirroring the
+// accelerator's on-chip generation of masks and errors.
+type Encryptor struct {
+	params *Parameters
+	pk     *PublicKey
+	seed   [16]byte
+	calls  uint64
+}
+
+// NewEncryptor builds an encryptor around pk using seed for randomness.
+func NewEncryptor(params *Parameters, pk *PublicKey, seed [16]byte) *Encryptor {
+	return &Encryptor{params: params, pk: pk, seed: seed}
+}
+
+// Encrypt produces a fresh encryption of pt at pt's level:
+//
+//	c0 = pk0·u + e0 + m,   c1 = pk1·u + e1
+//
+// with u ternary and e0, e1 Gaussian. The products run in the NTT domain;
+// the result is returned in the coefficient domain (see Ciphertext).
+// Per-limb transform count: 1 NTT (u) + 2 INTT (the two products) — the
+// 3L transforms/L-limb encryption that internal/sched's operation model
+// charges.
+func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	p := enc.params
+	level := pt.Level
+	rl := p.RingAt(level)
+	enc.calls++
+	base := streamEncMask + 16*enc.calls
+
+	u := rl.NewPoly()
+	rl.TernaryPoly(prng.NewSource(enc.seed, base), u)
+	rl.NTT(u)
+
+	// pk at this level: limb-prefix views of the full-depth key.
+	pk0 := &ring.Poly{Coeffs: enc.pk.P0.Coeffs[:level], IsNTT: true}
+	pk1 := &ring.Poly{Coeffs: enc.pk.P1.Coeffs[:level], IsNTT: true}
+
+	c0 := rl.NewPoly()
+	c1 := rl.NewPoly()
+	rl.MulCoeffs(pk0, u, c0)
+	rl.MulCoeffs(pk1, u, c1)
+	rl.INTT(c0)
+	rl.INTT(c1)
+
+	e0 := rl.NewPoly()
+	e1 := rl.NewPoly()
+	rl.GaussianPoly(prng.NewSource(enc.seed, base+1), e0)
+	rl.GaussianPoly(prng.NewSource(enc.seed, base+2), e1)
+	rl.Add(c0, e0, c0)
+	rl.Add(c1, e1, c1)
+
+	if pt.Value.IsNTT {
+		panic("ckks: plaintext must be in coefficient domain")
+	}
+	rl.Add(c0, pt.Value, c0)
+
+	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: pt.Scale}
+}
+
+// Decryptor recovers plaintexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor builds a decryptor around sk.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt computes m' = c0 + c1·s at the ciphertext's level, returning a
+// coefficient-domain plaintext. Per-limb transforms: NTT(c1) then INTT of
+// the sum — the 2L transforms/L-limb decryption of the operation model.
+func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	p := dec.params
+	rl := p.RingAt(ct.Level)
+
+	c1 := rl.CopyPoly(ct.C1)
+	rl.NTT(c1)
+	sk := &ring.Poly{Coeffs: dec.sk.S.Coeffs[:ct.Level], IsNTT: true}
+	rl.MulCoeffs(c1, sk, c1)
+	rl.INTT(c1)
+
+	out := rl.NewPoly()
+	rl.Add(ct.C0, c1, out)
+
+	return &Plaintext{Value: out, Level: ct.Level, Scale: ct.Scale}
+}

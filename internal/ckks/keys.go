@@ -1,0 +1,99 @@
+package ckks
+
+import (
+	"repro/internal/prng"
+	"repro/internal/ring"
+)
+
+// SecretKey is the ternary RLWE secret, stored in the NTT domain at full
+// depth (decryption at lower levels uses the limb prefix).
+type SecretKey struct {
+	S *ring.Poly // NTT domain, full limbs
+}
+
+// PublicKey is the RLWE encryption key (pk0, pk1) = (-a·s + e, a) in the
+// NTT domain at full depth.
+type PublicKey struct {
+	P0, P1 *ring.Poly
+}
+
+// KeyGenerator derives keys deterministically from a 128-bit seed — the
+// property the accelerator's on-chip PRNG exploits: only the seed is
+// stored; key material is regenerated on demand (paper §IV-B).
+type KeyGenerator struct {
+	params *Parameters
+	seed   [16]byte
+}
+
+// NewKeyGenerator creates a generator over params with the given seed.
+func NewKeyGenerator(params *Parameters, seed [16]byte) *KeyGenerator {
+	return &KeyGenerator{params: params, seed: seed}
+}
+
+// Stream identifiers partition the PRNG seed space by purpose so no two
+// sampled objects ever share keystream.
+const (
+	streamSecret uint64 = iota + 1
+	streamPKMask
+	streamPKError
+	streamEncMask // base for per-encryption streams
+)
+
+// GenSecretKey samples the ternary secret (Hamming weight params.HW if
+// nonzero, uniform ternary otherwise) and transforms it to NTT form.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	r := kg.params.Ring()
+	src := prng.NewSource(kg.seed, streamSecret)
+	s := r.NewPoly()
+	if kg.params.HW > 0 {
+		// Sample the signed polynomial once, expand to all limbs.
+		tmp := make([]uint64, r.N)
+		src.TernaryPolyHW(tmp, kg.params.HW, 3) // residues mod 3: {0,1,2}
+		for j, v := range tmp {
+			var c int64
+			switch v {
+			case 1:
+				c = 1
+			case 2:
+				c = -1
+			}
+			for i := range s.Coeffs {
+				s.Coeffs[i][j] = r.Basis.Moduli[i].FromCentered(c)
+			}
+		}
+	} else {
+		r.TernaryPoly(src, s)
+	}
+	r.NTT(s)
+	return &SecretKey{S: s}
+}
+
+// GenPublicKey derives (pk0, pk1) = (-a·s + e, a): a uniform in the NTT
+// domain (uniformity is domain-invariant, so the PRNG can emit it directly
+// in evaluation form — the trick that lets hardware skip one NTT), e a
+// fresh Gaussian error.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	r := kg.params.Ring()
+	maskSrc := prng.NewSource(kg.seed, streamPKMask)
+	errSrc := prng.NewSource(kg.seed, streamPKError)
+
+	a := r.NewPoly()
+	r.UniformPoly(maskSrc, a)
+	a.IsNTT = true // uniform randomness interpreted directly in NTT domain
+
+	e := r.NewPoly()
+	r.GaussianPoly(errSrc, e)
+	r.NTT(e)
+
+	p0 := r.NewPoly()
+	r.MulCoeffs(a, sk.S, p0) // a·s
+	r.Neg(p0, p0)            // -a·s
+	r.Add(p0, e, p0)         // -a·s + e
+	return &PublicKey{P0: p0, P1: a}
+}
+
+// GenKeyPair is the common bundle.
+func (kg *KeyGenerator) GenKeyPair() (*SecretKey, *PublicKey) {
+	sk := kg.GenSecretKey()
+	return sk, kg.GenPublicKey(sk)
+}

@@ -1,0 +1,272 @@
+package ckks
+
+import (
+	"repro/internal/prng"
+	"repro/internal/ring"
+)
+
+// Key switching via gadget (digit) decomposition — the server-side
+// machinery that makes ciphertext-ciphertext multiplication and slot
+// rotations possible. ABC-FHE itself never executes these (it is a client
+// accelerator), but a library a downstream user adopts needs the server
+// side of the protocol to exist; this is the "extension" scope DESIGN.md
+// lists.
+//
+// Construction (BV-style, no special modulus): to switch a polynomial c
+// from key f to key s, write c in the combined CRT × base-2^w gadget
+//
+//	c = Σ_{i<L} Σ_{t<T} d_{i,t} · (2^{wt} · u_i)   with  d_{i,t} < 2^w,
+//
+// where u_i is the CRT basis element (u_i ≡ 1 mod q_i, ≡ 0 mod q_j). The
+// switching key encrypts each gadget element times f:
+//
+//	ksk_{i,t} = (-a·s + e + 2^{wt}·u_i·f,  a)
+//
+// and Apply computes (Σ d_{i,t}·ksk0, Σ d_{i,t}·ksk1). Noise grows by
+// ≈ 2^w·sqrt(L·T·N)·σ — kept below the scale by choosing w; production
+// systems use a raised modulus instead (documented trade-off).
+
+// DecompLogBase is the gadget digit width (w). 8 keeps switching noise
+// ≈2^15 at the test parameters — comfortably below every scale in use
+// (production RNS-CKKS uses a raised special modulus instead; the digit
+// gadget trades key size for implementation simplicity).
+const DecompLogBase = 8
+
+// SwitchingKey holds the gadget encryptions for one target polynomial.
+type SwitchingKey struct {
+	// K0[i][t], K1[i][t]: the two halves of ksk_{i,t}, NTT domain, full depth.
+	K0, K1 [][]*ring.Poly
+	Digits int
+}
+
+// digitsPerLimb is ceil(LimbBits / DecompLogBase).
+func (p *Parameters) digitsPerLimb() int {
+	return (p.LimbBits + DecompLogBase - 1) / DecompLogBase
+}
+
+// GenSwitchingKey builds the key that moves ciphertext mass from key f to
+// the generator's secret s. f must be in the NTT domain at full depth.
+func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, f *ring.Poly, streamBase uint64) *SwitchingKey {
+	p := kg.params
+	r := p.Ring()
+	T := p.digitsPerLimb()
+	L := p.MaxLevel()
+
+	ksk := &SwitchingKey{Digits: T}
+	ksk.K0 = make([][]*ring.Poly, L)
+	ksk.K1 = make([][]*ring.Poly, L)
+
+	stream := streamBase
+	for i := 0; i < L; i++ {
+		ksk.K0[i] = make([]*ring.Poly, T)
+		ksk.K1[i] = make([]*ring.Poly, T)
+		for t := 0; t < T; t++ {
+			stream += 2
+			a := r.NewPoly()
+			r.UniformPoly(prng.NewSource(kg.seed, stream), a)
+			a.IsNTT = true
+
+			e := r.NewPoly()
+			r.GaussianPoly(prng.NewSource(kg.seed, stream+1), e)
+			r.NTT(e)
+
+			b := r.NewPoly()
+			r.MulCoeffs(a, sk.S, b)
+			r.Neg(b, b)
+			r.Add(b, e, b)
+
+			// + 2^{wt}·u_i·f : u_i is 1 on limb i and 0 elsewhere, so the
+			// gadget term only touches limb i.
+			shift := uint64(1) << uint(DecompLogBase*t)
+			m := r.Basis.Moduli[i]
+			fi := f.Coeffs[i]
+			bi := b.Coeffs[i]
+			sc := shift % m.Q
+			for j := range bi {
+				bi[j] = m.Add(bi[j], m.Mul(fi[j], sc))
+			}
+			ksk.K0[i][t] = b
+			ksk.K1[i][t] = a
+		}
+	}
+	return ksk
+}
+
+// decomposeDigit extracts digit t of c's limb i (coefficient domain),
+// expanded across the first `level` limbs as a small non-negative poly.
+func decomposeDigit(rl *ring.Ring, c *ring.Poly, i, t int) *ring.Poly {
+	out := rl.NewPoly()
+	shift := uint(DecompLogBase * t)
+	mask := uint64(1)<<DecompLogBase - 1
+	src := c.Coeffs[i]
+	for j, v := range src {
+		d := (v >> shift) & mask
+		for k := range out.Coeffs {
+			out.Coeffs[k][j] = d % rl.Basis.Moduli[k].Q
+		}
+	}
+	return out
+}
+
+// applySwitch computes the key-switch of polynomial c (coefficient
+// domain, `level` limbs): returns (d0, d1) in the NTT domain such that
+// d0 + d1·s ≈ c·f.
+func (p *Parameters) applySwitch(c *ring.Poly, level int, ksk *SwitchingKey) (d0, d1 *ring.Poly) {
+	rl := p.RingAt(level)
+	d0 = rl.NewPoly()
+	d1 = rl.NewPoly()
+	d0.IsNTT = true
+	d1.IsNTT = true
+
+	tmp := rl.NewPoly()
+	for i := 0; i < level; i++ {
+		for t := 0; t < ksk.Digits; t++ {
+			dig := decomposeDigit(rl, c, i, t)
+			rl.NTT(dig)
+			k0 := &ring.Poly{Coeffs: ksk.K0[i][t].Coeffs[:level], IsNTT: true}
+			k1 := &ring.Poly{Coeffs: ksk.K1[i][t].Coeffs[:level], IsNTT: true}
+			rl.MulCoeffs(dig, k0, tmp)
+			rl.Add(d0, tmp, d0)
+			rl.MulCoeffs(dig, k1, tmp)
+			rl.Add(d1, tmp, d1)
+		}
+	}
+	return d0, d1
+}
+
+// ---------------------------------------------------------------------
+// Relinearization
+// ---------------------------------------------------------------------
+
+// RelinearizationKey switches s² mass back to s.
+type RelinearizationKey struct{ K *SwitchingKey }
+
+// GenRelinearizationKey derives the relinearization key.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey {
+	r := kg.params.Ring()
+	s2 := r.NewPoly()
+	r.MulCoeffs(sk.S, sk.S, s2)
+	return &RelinearizationKey{K: kg.GenSwitchingKey(sk, s2, 1<<50)}
+}
+
+// MulRelin multiplies two ciphertexts and relinearizes the degree-2 term:
+// (a0,a1)·(b0,b1) → (a0b0 + ks0, a0b1 + a1b0 + ks1) where (ks0, ks1) is
+// the switched a1b1. The result's scale is the product of scales; rescale
+// afterwards.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Ciphertext {
+	sameLevelScale(a, b)
+	level := a.Level
+	rl := ev.ringAt(level)
+
+	a0 := rl.CopyPoly(a.C0)
+	a1 := rl.CopyPoly(a.C1)
+	b0 := rl.CopyPoly(b.C0)
+	b1 := rl.CopyPoly(b.C1)
+	rl.NTT(a0)
+	rl.NTT(a1)
+	rl.NTT(b0)
+	rl.NTT(b1)
+
+	c0 := rl.NewPoly()
+	c1 := rl.NewPoly()
+	c2 := rl.NewPoly()
+	rl.MulCoeffs(a0, b0, c0) // a0·b0
+	rl.MulCoeffs(a0, b1, c1) // a0·b1 + a1·b0
+	tmp := rl.NewPoly()
+	rl.MulCoeffs(a1, b0, tmp)
+	rl.Add(c1, tmp, c1)
+	rl.MulCoeffs(a1, b1, c2) // the degree-2 term
+
+	// Key-switch c2 (needs the coefficient domain for digit extraction).
+	rl.INTT(c2)
+	d0, d1 := ev.params.applySwitch(c2, level, rlk.K)
+	rl.Add(c0, d0, c0)
+	rl.Add(c1, d1, c1)
+
+	rl.INTT(c0)
+	rl.INTT(c1)
+	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: a.Scale * b.Scale}
+}
+
+// ---------------------------------------------------------------------
+// Rotations (Galois automorphisms)
+// ---------------------------------------------------------------------
+
+// automorphism applies X → X^g to a coefficient-domain polynomial:
+// coefficient j lands at (g·j mod 2N), negated when the index wraps past
+// N (X^N = -1).
+func automorphism(rl *ring.Ring, p *ring.Poly, g int) *ring.Poly {
+	if p.IsNTT {
+		panic("ckks: automorphism expects coefficient domain")
+	}
+	n := rl.N
+	out := rl.NewPoly()
+	for j := 0; j < n; j++ {
+		idx := (g * j) % (2 * n)
+		neg := false
+		if idx >= n {
+			idx -= n
+			neg = true
+		}
+		for i := range p.Coeffs {
+			v := p.Coeffs[i][j]
+			if neg {
+				v = rl.Basis.Moduli[i].Neg(v)
+			}
+			out.Coeffs[i][idx] = v
+		}
+	}
+	return out
+}
+
+// GaloisElement returns the automorphism generator for a rotation by k
+// slots: 5^k mod 2N (k may be negative).
+func (p *Parameters) GaloisElement(k int) int {
+	m := 2 * p.N()
+	// order of 5 in (Z/2N)* is N/2; normalize k into [0, N/2).
+	half := p.N() / 2
+	k = ((k % half) + half) % half
+	g := 1
+	for i := 0; i < k; i++ {
+		g = g * 5 % m
+	}
+	return g
+}
+
+// GaloisElementConjugate is the generator of complex conjugation: -1 mod 2N.
+func (p *Parameters) GaloisElementConjugate() int { return 2*p.N() - 1 }
+
+// RotationKey enables rotation by one fixed Galois element.
+type RotationKey struct {
+	G int
+	K *SwitchingKey
+}
+
+// GenRotationKey derives the key for Galois element g: it switches
+// s(X^g) mass back to s.
+func (kg *KeyGenerator) GenRotationKey(sk *SecretKey, g int) *RotationKey {
+	r := kg.params.Ring()
+	sCoeff := r.CopyPoly(sk.S)
+	r.INTT(sCoeff)
+	sg := automorphism(r, sCoeff, g)
+	r.NTT(sg)
+	return &RotationKey{G: g, K: kg.GenSwitchingKey(sk, sg, 1<<51+uint64(g)<<20)}
+}
+
+// RotateGalois applies the automorphism X → X^g and key-switches back to
+// s. With g = GaloisElement(k) this rotates the message slots by k.
+func (ev *Evaluator) RotateGalois(ct *Ciphertext, rk *RotationKey) *Ciphertext {
+	level := ct.Level
+	rl := ev.ringAt(level)
+
+	c0g := automorphism(rl, ct.C0, rk.G)
+	c1g := automorphism(rl, ct.C1, rk.G)
+
+	d0, d1 := ev.params.applySwitch(c1g, level, rk.K)
+	rl.NTT(c0g)
+	rl.Add(c0g, d0, c0g)
+	rl.INTT(c0g)
+	rl.INTT(d1)
+
+	return &Ciphertext{C0: c0g, C1: d1, Level: level, Scale: ct.Scale}
+}

@@ -1,0 +1,135 @@
+// Package ckks implements the client side of the CKKS approximate
+// homomorphic encryption scheme — exactly the workload ABC-FHE
+// accelerates: encoding (IFFT + Expand RNS), encryption (PRNG + NTT +
+// public-key multiply-add), decryption (NTT·secret + INTT) and decoding
+// (Combine CRT + FFT). See paper Fig. 2a.
+//
+// The implementation is from scratch on this repository's substrates
+// (internal/{mod,ntt,fftfp,rns,ring,prng}) and uses the paper's
+// bootstrappable parameterization: polynomial degrees 2^13–2^16 and
+// 36-bit "double-scale" RNS limb chains [Agrawal et al., the paper's
+// ref 1] so the hardware datapath stays at 44 bits.
+//
+// A small amount of server-side functionality (homomorphic addition,
+// plaintext multiplication, rescaling, level dropping) is included so the
+// examples can round-trip a realistic client → server → client flow.
+package ckks
+
+import (
+	"fmt"
+
+	"repro/internal/fftfp"
+	"repro/internal/primes"
+	"repro/internal/ring"
+)
+
+// Parameters fixes a CKKS instance. Immutable after construction.
+type Parameters struct {
+	LogN     int // ring degree exponent: N = 2^LogN
+	LimbBits int // bit width of each RNS prime (paper: 36)
+	Limbs    int // number of RNS limbs L (paper: 24 = 12 levels double-scale)
+	LogScale int // Δ = 2^LogScale
+	HW       int // secret Hamming weight; 0 ⇒ uniform ternary
+	MantBits int // FFT mantissa width (fftfp.FP55Mantissa on the accelerator)
+
+	ringQ    *ring.Ring
+	embedder *fftfp.Embedder
+}
+
+// Preset parameter sets.
+//
+// PN16 is the paper's evaluation configuration (§V-B): N = 2^16, 36-bit
+// primes, 24 limbs ("the number of levels was doubled from the standard 12
+// to 24" — double-scale), encrypted at full depth, decrypted at the 2-limb
+// state ciphertexts return from the server in.
+var (
+	PN16 = ParamSpec{LogN: 16, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192}
+	PN15 = ParamSpec{LogN: 15, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192}
+	PN14 = ParamSpec{LogN: 14, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192}
+	PN13 = ParamSpec{LogN: 13, LimbBits: 36, Limbs: 12, LogScale: 66, HW: 128}
+
+	// TestParams is a fast set for unit tests: small ring, short chain.
+	TestParams = ParamSpec{LogN: 10, LimbBits: 36, Limbs: 4, LogScale: 30, HW: 64}
+	// TinyParams is even smaller, for exhaustive-ish property tests.
+	TinyParams = ParamSpec{LogN: 8, LimbBits: 30, Limbs: 3, LogScale: 25, HW: 32}
+)
+
+// ParamSpec is the serializable description from which Parameters are
+// built (primes are derived deterministically from the spec).
+type ParamSpec struct {
+	LogN     int
+	LimbBits int
+	Limbs    int
+	LogScale int
+	HW       int
+	MantBits int // 0 ⇒ full float64 mantissa
+}
+
+// Build constructs ready-to-use Parameters (prime generation, NTT tables,
+// FFT tables). Cost is dominated by NTT table setup: O(L·N).
+func (s ParamSpec) Build() (*Parameters, error) {
+	if s.LogN < 4 || s.LogN > 17 {
+		return nil, fmt.Errorf("ckks: logN=%d out of range", s.LogN)
+	}
+	if s.Limbs < 1 {
+		return nil, fmt.Errorf("ckks: need at least one limb")
+	}
+	if s.LogScale >= s.LimbBits*2 {
+		return nil, fmt.Errorf("ckks: scale 2^%d exceeds 2-limb decode modulus (LimbBits=%d)", s.LogScale, s.LimbBits)
+	}
+	mant := s.MantBits
+	if mant == 0 {
+		mant = fftfp.Float64Mantissa
+	}
+	p := &Parameters{
+		LogN: s.LogN, LimbBits: s.LimbBits, Limbs: s.Limbs,
+		LogScale: s.LogScale, HW: s.HW, MantBits: mant,
+	}
+	qs := primes.GenerateNTTPrimes(s.Limbs, s.LimbBits, s.LogN)
+	r, err := ring.NewRing(1<<uint(s.LogN), qs)
+	if err != nil {
+		return nil, err
+	}
+	p.ringQ = r
+	p.embedder = fftfp.NewEmbedder(s.LogN)
+	return p, nil
+}
+
+// MustBuild panics on error.
+func (s ParamSpec) MustBuild() *Parameters {
+	p, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the ring degree.
+func (p *Parameters) N() int { return 1 << uint(p.LogN) }
+
+// Slots returns the number of complex message slots (N/2).
+func (p *Parameters) Slots() int { return p.N() / 2 }
+
+// MaxLevel returns the number of limbs at full depth.
+func (p *Parameters) MaxLevel() int { return p.Limbs }
+
+// Scale returns Δ as a float64 (exact: a power of two).
+func (p *Parameters) Scale() float64 {
+	s := 1.0
+	for i := 0; i < p.LogScale; i++ {
+		s *= 2
+	}
+	return s
+}
+
+// Ring exposes the underlying RNS ring (shared, read-only by convention).
+func (p *Parameters) Ring() *ring.Ring { return p.ringQ }
+
+// RingAt returns the ring view at the given level (limb count).
+func (p *Parameters) RingAt(level int) *ring.Ring { return p.ringQ.AtLevel(level) }
+
+// Embedder exposes the canonical-embedding FFT tables.
+func (p *Parameters) Embedder() *fftfp.Embedder { return p.embedder }
+
+// FFTCtx returns the floating-point context encoding/decoding runs in.
+func (p *Parameters) FFTCtx() fftfp.Ctx { return fftfp.NewCtx(p.MantBits) }

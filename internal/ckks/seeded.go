@@ -1,0 +1,191 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/prng"
+	"repro/internal/ring"
+)
+
+// Seeded ciphertexts: an extension the paper's on-chip PRNG architecture
+// makes natural. In a fresh symmetric-style encryption the second
+// component c1 can be a *publicly derivable* uniform polynomial — so the
+// client transmits only (c0, seed) and the server regenerates c1 from the
+// 16-byte seed, halving the client→server ciphertext traffic (and with
+// it the DRAM write stream that bounds ABC-FHE's encode throughput at 8
+// lanes; see the "seeded" ablation in cmd/abcbench-adjacent tooling and
+// examples/seeded).
+//
+// Construction (secret-key encryption, the standard seeded form):
+//
+//	a   = Uniform(seed, stream)        — in the NTT domain
+//	c0  = -a·s + e + m
+//	ct  = (c0, a), transmitted as (c0, seed)
+//
+// Fresh uploads from the key owner do not need the public key, so this
+// composes with the client-side flow the paper accelerates.
+
+// SeededCiphertext is the compressed wire form: c0 plus the PRNG
+// coordinates that regenerate c1.
+type SeededCiphertext struct {
+	C0     *ring.Poly // coefficient domain
+	Seed   [16]byte
+	Stream uint64
+	Level  int
+	Scale  float64
+}
+
+// SeededEncryptor performs secret-key seeded encryption.
+type SeededEncryptor struct {
+	params *Parameters
+	sk     *SecretKey
+	seed   [16]byte
+	calls  uint64
+}
+
+// NewSeededEncryptor builds a seeded encryptor. The seed is the PRNG root
+// for both the public mask streams and the (never transmitted) error
+// randomness; mask streams are domain-separated from error streams.
+func NewSeededEncryptor(params *Parameters, sk *SecretKey, seed [16]byte) *SeededEncryptor {
+	return &SeededEncryptor{params: params, sk: sk, seed: seed}
+}
+
+// maskStreamBase domain-separates public mask streams from every other
+// consumer of the seed (keys use 1..3, encryptor randomness 16k+).
+const maskStreamBase uint64 = 1 << 40
+
+// regenMask deterministically regenerates the public mask a (NTT domain).
+func regenMask(r *ring.Ring, seed [16]byte, stream uint64) *ring.Poly {
+	a := r.NewPoly()
+	r.UniformPoly(prng.NewSource(seed, stream), a)
+	a.IsNTT = true
+	return a
+}
+
+// Encrypt produces a seeded encryption of pt.
+func (se *SeededEncryptor) Encrypt(pt *Plaintext) *SeededCiphertext {
+	p := se.params
+	level := pt.Level
+	rl := p.RingAt(level)
+	se.calls++
+	stream := maskStreamBase + se.calls
+
+	a := regenMask(rl, se.seed, stream)
+	sk := &ring.Poly{Coeffs: se.sk.S.Coeffs[:level], IsNTT: true}
+
+	c0 := rl.NewPoly()
+	rl.MulCoeffs(a, sk, c0) // a·s
+	rl.Neg(c0, c0)          // -a·s
+	rl.INTT(c0)
+
+	e := rl.NewPoly()
+	rl.GaussianPoly(prng.NewSource(se.seed, stream^0xE), e)
+	rl.Add(c0, e, c0)
+	if pt.Value.IsNTT {
+		panic("ckks: plaintext must be in coefficient domain")
+	}
+	rl.Add(c0, pt.Value, c0)
+
+	return &SeededCiphertext{
+		C0: c0, Seed: se.seed, Stream: stream,
+		Level: level, Scale: pt.Scale,
+	}
+}
+
+// Expand reconstructs the full two-component ciphertext (what the server
+// does on receipt): c1 is regenerated from the seed and moved to the
+// coefficient domain to match the standard wire convention.
+func (p *Parameters) Expand(sct *SeededCiphertext) *Ciphertext {
+	rl := p.RingAt(sct.Level)
+	a := regenMask(rl, sct.Seed, sct.Stream)
+	rl.INTT(a)
+	return &Ciphertext{
+		C0:    rl.CopyPoly(sct.C0),
+		C1:    a,
+		Level: sct.Level,
+		Scale: sct.Scale,
+	}
+}
+
+// MarshalSeeded serializes the compressed form: header | seed | stream |
+// packed c0. Roughly half the bytes of a packed full ciphertext.
+func (p *Parameters) MarshalSeeded(sct *SeededCiphertext) ([]byte, error) {
+	if p.LimbBits > PackedWordBits {
+		return nil, fmt.Errorf("ckks: packed encoding needs limbs ≤ %d bits", PackedWordBits)
+	}
+	n := p.N()
+	payload := (sct.Level*n*PackedWordBits + 7) / 8
+	out := make([]byte, headerLen()+16+8+payload)
+	copy(out, wireMagic)
+	out[4] = wireVersion
+	out[5] = encPacked | 0x80 // high bit marks the seeded form
+	out[6] = byte(p.LogN)
+	out[7] = byte(sct.Level)
+	binary.LittleEndian.PutUint64(out[8:], mathFloat64bits(sct.Scale))
+	copy(out[headerLen():], sct.Seed[:])
+	binary.LittleEndian.PutUint64(out[headerLen()+16:], sct.Stream)
+
+	w := newBitWriter(out[headerLen()+24:])
+	for i := 0; i < sct.Level; i++ {
+		for _, c := range sct.C0.Coeffs[i] {
+			w.write(c, PackedWordBits)
+		}
+	}
+	w.flush()
+	return out, nil
+}
+
+// UnmarshalSeeded reverses MarshalSeeded.
+func (p *Parameters) UnmarshalSeeded(data []byte) (*SeededCiphertext, error) {
+	if len(data) < headerLen()+24 || string(data[:4]) != wireMagic {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: bad magic/short data")
+	}
+	if data[5] != encPacked|0x80 {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: not a seeded ciphertext")
+	}
+	if int(data[6]) != p.LogN {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: logN mismatch")
+	}
+	level := int(data[7])
+	if level < 1 || level > p.MaxLevel() {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: bad level %d", level)
+	}
+	n := p.N()
+	payload := (level*n*PackedWordBits + 7) / 8
+	if len(data) != headerLen()+24+payload {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: bad payload length")
+	}
+	sct := &SeededCiphertext{
+		Level: level,
+		Scale: mathFloat64frombits(binary.LittleEndian.Uint64(data[8:])),
+	}
+	copy(sct.Seed[:], data[headerLen():])
+	sct.Stream = binary.LittleEndian.Uint64(data[headerLen()+16:])
+
+	rl := p.RingAt(level)
+	sct.C0 = rl.NewPoly()
+	r := newBitReader(data[headerLen()+24:])
+	for i := 0; i < level; i++ {
+		q := rl.Basis.Moduli[i].Q
+		for j := range sct.C0.Coeffs[i] {
+			c := r.read(PackedWordBits)
+			if c >= q {
+				return nil, fmt.Errorf("ckks: unmarshal seeded: residue ≥ q_%d", i)
+			}
+			sct.C0.Coeffs[i][j] = c
+		}
+	}
+	return sct, nil
+}
+
+// SeededWireBytes is the compressed wire size at a level — half the
+// polynomial payload of the full form plus 24 bytes of seed material.
+func (p *Parameters) SeededWireBytes(level int) int {
+	return headerLen() + 24 + (level*p.N()*PackedWordBits+7)/8
+}
+
+// tiny indirection so serialize.go and seeded.go do not both import math
+// for two functions.
+func mathFloat64bits(f float64) uint64     { return floatBits(f) }
+func mathFloat64frombits(b uint64) float64 { return floatFromBits(b) }

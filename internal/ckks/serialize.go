@@ -1,0 +1,239 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ring"
+)
+
+// Wire format for ciphertexts and plaintexts. Two encodings are provided:
+//
+//   - word: 8 bytes per coefficient (fast, alignment-friendly), and
+//   - packed: ceil(44 bits)/coefficient bit-packing — the format the
+//     accelerator streams over LPDDR5, so the serialized size matches the
+//     DRAM traffic the simulator charges (2·L·N·44/8 bytes per
+//     ciphertext; see internal/sim and the cross-check test).
+//
+// Layout (both encodings, little-endian):
+//
+//	magic "ABCF" | version u8 | enc u8 | logN u8 | level u8 |
+//	scale f64 | domain u8 | payload (c0 limbs then c1 limbs)
+const (
+	wireMagic   = "ABCF"
+	wireVersion = 1
+
+	encWord   = 0
+	encPacked = 1
+)
+
+// PackedWordBits is the hardware stream word width.
+const PackedWordBits = 44
+
+func headerLen() int { return 4 + 1 + 1 + 1 + 1 + 8 + 1 }
+
+// MarshalCiphertext serializes ct. packed selects the 44-bit stream
+// encoding; coefficients must fit PackedWordBits (true for ≤44-bit limb
+// primes — enforced).
+func (p *Parameters) MarshalCiphertext(ct *Ciphertext, packed bool) ([]byte, error) {
+	if ct.Level < 1 || ct.Level > p.MaxLevel() {
+		return nil, fmt.Errorf("ckks: marshal: bad level %d", ct.Level)
+	}
+	enc := byte(encWord)
+	if packed {
+		if p.LimbBits > PackedWordBits {
+			return nil, fmt.Errorf("ckks: packed encoding needs limbs ≤ %d bits", PackedWordBits)
+		}
+		enc = encPacked
+	}
+	n := p.N()
+	coeffCount := 2 * ct.Level * n
+	var payload int
+	if packed {
+		payload = (coeffCount*PackedWordBits + 7) / 8
+	} else {
+		payload = coeffCount * 8
+	}
+	out := make([]byte, headerLen()+payload)
+	copy(out, wireMagic)
+	out[4] = wireVersion
+	out[5] = enc
+	out[6] = byte(p.LogN)
+	out[7] = byte(ct.Level)
+	binary.LittleEndian.PutUint64(out[8:], math.Float64bits(ct.Scale))
+	if ct.C0.IsNTT {
+		out[16] = 1
+	}
+	if ct.C1.IsNTT != ct.C0.IsNTT {
+		return nil, fmt.Errorf("ckks: marshal: mixed-domain ciphertext")
+	}
+
+	body := out[headerLen():]
+	if packed {
+		w := newBitWriter(body)
+		for _, poly := range []*ring.Poly{ct.C0, ct.C1} {
+			for i := 0; i < ct.Level; i++ {
+				for _, c := range poly.Coeffs[i] {
+					w.write(c, PackedWordBits)
+				}
+			}
+		}
+		w.flush()
+	} else {
+		off := 0
+		for _, poly := range []*ring.Poly{ct.C0, ct.C1} {
+			for i := 0; i < ct.Level; i++ {
+				for _, c := range poly.Coeffs[i] {
+					binary.LittleEndian.PutUint64(body[off:], c)
+					off += 8
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalCiphertext reverses MarshalCiphertext.
+func (p *Parameters) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	if len(data) < headerLen() || string(data[:4]) != wireMagic {
+		return nil, fmt.Errorf("ckks: unmarshal: bad magic/short data")
+	}
+	if data[4] != wireVersion {
+		return nil, fmt.Errorf("ckks: unmarshal: unsupported version %d", data[4])
+	}
+	enc := data[5]
+	if int(data[6]) != p.LogN {
+		return nil, fmt.Errorf("ckks: unmarshal: logN %d does not match parameters (%d)", data[6], p.LogN)
+	}
+	level := int(data[7])
+	if level < 1 || level > p.MaxLevel() {
+		return nil, fmt.Errorf("ckks: unmarshal: bad level %d", level)
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	isNTT := data[16] == 1
+
+	n := p.N()
+	coeffCount := 2 * level * n
+	var payload int
+	switch enc {
+	case encPacked:
+		payload = (coeffCount*PackedWordBits + 7) / 8
+	case encWord:
+		payload = coeffCount * 8
+	default:
+		return nil, fmt.Errorf("ckks: unmarshal: unknown encoding %d", enc)
+	}
+	if len(data) != headerLen()+payload {
+		return nil, fmt.Errorf("ckks: unmarshal: payload length %d, want %d",
+			len(data)-headerLen(), payload)
+	}
+
+	rl := p.RingAt(level)
+	ct := &Ciphertext{C0: rl.NewPoly(), C1: rl.NewPoly(), Level: level, Scale: scale}
+	body := data[headerLen():]
+	if enc == encPacked {
+		r := newBitReader(body)
+		for _, poly := range []*ring.Poly{ct.C0, ct.C1} {
+			for i := 0; i < level; i++ {
+				for j := range poly.Coeffs[i] {
+					poly.Coeffs[i][j] = r.read(PackedWordBits)
+				}
+			}
+		}
+	} else {
+		off := 0
+		for _, poly := range []*ring.Poly{ct.C0, ct.C1} {
+			for i := 0; i < level; i++ {
+				for j := range poly.Coeffs[i] {
+					poly.Coeffs[i][j] = binary.LittleEndian.Uint64(body[off:])
+					off += 8
+				}
+			}
+		}
+	}
+	// Validate residues against the level's moduli.
+	for _, poly := range []*ring.Poly{ct.C0, ct.C1} {
+		for i := 0; i < level; i++ {
+			q := rl.Basis.Moduli[i].Q
+			for _, c := range poly.Coeffs[i] {
+				if c >= q {
+					return nil, fmt.Errorf("ckks: unmarshal: residue %d ≥ q_%d", c, i)
+				}
+			}
+		}
+	}
+	ct.C0.IsNTT = isNTT
+	ct.C1.IsNTT = isNTT
+	return ct, nil
+}
+
+// CiphertextWireBytes returns the packed wire size at a level — the
+// number the DRAM model in internal/sim charges per ciphertext transfer.
+func (p *Parameters) CiphertextWireBytes(level int) int {
+	return headerLen() + (2*level*p.N()*PackedWordBits+7)/8
+}
+
+// --- bit packing ---------------------------------------------------------
+
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	bits uint
+	off  int
+}
+
+func newBitWriter(buf []byte) *bitWriter { return &bitWriter{buf: buf} }
+
+func (w *bitWriter) write(v uint64, width uint) {
+	w.acc |= v << w.bits
+	w.bits += width
+	for w.bits >= 8 {
+		w.buf[w.off] = byte(w.acc)
+		w.off++
+		w.acc >>= 8
+		w.bits -= 8
+	}
+	// Keep the tail of v that did not fit into acc before the shifts.
+	if width > 64-w.bits {
+		// Cannot happen for width ≤ 44 with bits < 8 after draining, but
+		// guard the invariant for future widths.
+		panic("ckks: bit accumulator overflow")
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.bits > 0 {
+		w.buf[w.off] = byte(w.acc)
+		w.off++
+		w.acc, w.bits = 0, 0
+	}
+}
+
+type bitReader struct {
+	buf  []byte
+	acc  uint64
+	bits uint
+	off  int
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) read(width uint) uint64 {
+	for r.bits < width {
+		var b byte
+		if r.off < len(r.buf) {
+			b = r.buf[r.off]
+			r.off++
+		}
+		r.acc |= uint64(b) << r.bits
+		r.bits += 8
+	}
+	v := r.acc & ((uint64(1) << width) - 1)
+	r.acc >>= width
+	r.bits -= width
+	return v
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

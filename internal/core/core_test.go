@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestDefaultSummary(t *testing.T) {
+	s := Default().Summarize()
+	if s.AreaMM2 < 25 || s.AreaMM2 > 32 {
+		t.Fatalf("area %.2f", s.AreaMM2)
+	}
+	if s.Area7nmMM2 > s.AreaMM2/20 {
+		t.Fatalf("7nm area %.3f not ≪ 28nm %.3f", s.Area7nmMM2, s.AreaMM2)
+	}
+	if s.EncMOPs < 25 || s.EncMOPs > 29 || s.DecMOPs < 2.5 || s.DecMOPs > 3.2 {
+		t.Fatalf("MOPs %.1f/%.1f off the paper's 27.0/2.9", s.EncMOPs, s.DecMOPs)
+	}
+}
+
+func TestWithers(t *testing.T) {
+	base := Default()
+	if base.WithLanes(4).Sim.P != 4 || base.Sim.P != 8 {
+		t.Fatal("WithLanes must copy, not mutate")
+	}
+	if base.WithDegree(13).Sim.LogN != 13 || base.Sim.LogN != 16 {
+		t.Fatal("WithDegree must copy, not mutate")
+	}
+	if base.WithMemoryMode(sim.MemBase).Sim.Mem != sim.MemBase {
+		t.Fatal("WithMemoryMode")
+	}
+}
+
+func TestModes(t *testing.T) {
+	s := Default()
+	enc, dec := s.Mode(sched.ModeEncryptDecrypt)
+	if enc.Cycles == 0 || dec.Cycles == 0 {
+		t.Fatal("both directions must run in mixed mode")
+	}
+	enc2, dec2 := s.Mode(sched.ModeDualEncrypt)
+	if enc2.ComputeCycles >= enc.ComputeCycles {
+		t.Fatal("dual encrypt must be faster")
+	}
+	if dec2.Cycles != 0 {
+		t.Fatal("dual encrypt mode must not decrypt")
+	}
+}
+
+func TestChipTree(t *testing.T) {
+	chip := Default().Chip()
+	if len(chip.Children) == 0 {
+		t.Fatal("chip must have children")
+	}
+}

@@ -1,0 +1,180 @@
+package fftfp
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// This file implements the Fig. 3c experiment: sweep the floating-point
+// mantissa width and measure the precision that survives the Fourier
+// transforms. The paper measures "bootstrapping precision" — the bit
+// precision left after server-side bootstrapping — and finds ≥43 mantissa
+// bits keep it at 23.39 bits, above the 19.29-bit threshold from SHARP.
+//
+// We cannot run the authors' full bootstrapping stack, so two measurements
+// bracket it (DESIGN.md substitution table):
+//
+//   - RoundTripPrecision: encode → decode through the reduced-precision
+//     IFFT/FFT pair (the pure client-side path ABC-FHE executes), and
+//   - BootPrecisionProxy: the plaintext shadow of a bootstrap —
+//     SlotsToCoeffs, a degree-15 sine-polynomial EvalMod surrogate, and
+//     CoeffsToSlots, all at the reduced precision, composed on top of the
+//     client round trip. This exercises the identical datapath (complex
+//     mul/add at mantissa m) with the error-compounding profile of the
+//     homomorphic pipeline.
+//
+// Both curves are linear in the mantissa width with slope ≈ 1 and saturate
+// at the float64 emulation ceiling — the paper's drop-off shape.
+
+// PrecisionResult is one point of the sweep.
+type PrecisionResult struct {
+	MantissaBits int
+	// Bits = -log2(mean |z - z'|) over uniformly random unit-box messages.
+	Bits float64
+	// MaxErrBits = -log2(max |z - z'|): the conservative variant.
+	MaxErrBits float64
+}
+
+// precisionFloor caps reported precision: a zero error (reduced pipeline
+// bit-identical to the reference) reads as the measurement floor rather
+// than +Inf.
+const precisionFloor = 52.0
+
+func measure(err []float64) (meanBits, maxBits float64) {
+	sum, maxv := 0.0, 0.0
+	for _, e := range err {
+		sum += e
+		if e > maxv {
+			maxv = e
+		}
+	}
+	mean := sum / float64(len(err))
+	meanBits, maxBits = -math.Log2(mean), -math.Log2(maxv)
+	if math.IsInf(meanBits, 1) || meanBits > precisionFloor {
+		meanBits = precisionFloor
+	}
+	if math.IsInf(maxBits, 1) || maxBits > precisionFloor {
+		maxBits = precisionFloor
+	}
+	return meanBits, maxBits
+}
+
+func randomMessage(e *Embedder, seed uint64) []Complex {
+	src := prng.NewSource(prng.SeedFromUint64s(seed, ^seed), 41)
+	msg := make([]Complex, e.Slots)
+	for i := range msg {
+		msg[i] = Complex{src.Float64()*2 - 1, src.Float64()*2 - 1}
+	}
+	return msg
+}
+
+// RoundTripPrecision encodes and decodes a random message at the given
+// mantissa width and reports the surviving precision.
+func RoundTripPrecision(e *Embedder, mant int, seed uint64) PrecisionResult {
+	ctx := NewCtx(mant)
+	msg := randomMessage(e, seed)
+	coeffs := e.EncodeToCoeffs(msg, ctx)
+	got := e.DecodeFromCoeffs(coeffs, ctx)
+	errs := make([]float64, e.Slots)
+	for i := range errs {
+		errs[i] = Complex{got[i].Re - msg[i].Re, got[i].Im - msg[i].Im}.Abs()
+	}
+	r := PrecisionResult{MantissaBits: mant}
+	r.Bits, r.MaxErrBits = measure(errs)
+	return r
+}
+
+// sinPolyEval evaluates the degree-15 Taylor surrogate of sin(2πx)/(2π) —
+// the EvalMod kernel shape — at reduced precision, component-wise on the
+// real parts. The coefficients are quantized into the context first, as
+// plaintext constants would be on the accelerator.
+func sinPolyEval(vals []Complex, ctx Ctx) {
+	// Taylor coefficients of sin(t)/ (t in radians), evaluated at t = 2πx
+	// via Horner. Degree 15 is what production CKKS bootstrap uses for the
+	// base sine approximation.
+	coeffs := []float64{}
+	fact := 1.0
+	for k := 0; k <= 15; k++ {
+		if k > 0 {
+			fact *= float64(k)
+		}
+		switch k % 4 {
+		case 1:
+			coeffs = append(coeffs, 1/fact)
+		case 3:
+			coeffs = append(coeffs, -1/fact)
+		default:
+			coeffs = append(coeffs, 0)
+		}
+	}
+	for i := range vals {
+		t := ctx.round(vals[i].Re * (2 * math.Pi) / 8) // shrink into convergence range
+		acc := 0.0
+		for k := len(coeffs) - 1; k >= 0; k-- {
+			acc = ctx.round(acc*t + ctx.round(coeffs[k]))
+		}
+		// Undo the range shrink approximately: scale back.
+		vals[i].Re = ctx.round(acc * 8 / (2 * math.Pi))
+		t = ctx.round(vals[i].Im * (2 * math.Pi) / 8)
+		acc = 0.0
+		for k := len(coeffs) - 1; k >= 0; k-- {
+			acc = ctx.round(acc*t + ctx.round(coeffs[k]))
+		}
+		vals[i].Im = ctx.round(acc * 8 / (2 * math.Pi))
+	}
+}
+
+// BootPrecisionProxy measures precision through the bootstrap shadow:
+// client encode, then StC → EvalMod surrogate → CtS at reduced precision,
+// then client decode; compared against the same pipeline at full float64
+// precision so only the mantissa-induced error is counted.
+func BootPrecisionProxy(e *Embedder, mant int, seed uint64) PrecisionResult {
+	run := func(ctx Ctx) []Complex {
+		msg := randomMessage(e, seed)
+		coeffs := e.EncodeToCoeffs(msg, ctx)
+		slots := e.DecodeFromCoeffs(coeffs, ctx) // StC half
+		sinPolyEval(slots, ctx)                  // EvalMod surrogate
+		e.IFFT(slots, ctx)                       // CtS half
+		e.FFT(slots, ctx)
+		return slots
+	}
+	ref := run(NewCtx(Float64Mantissa))
+	got := run(NewCtx(mant))
+	errs := make([]float64, e.Slots)
+	for i := range errs {
+		errs[i] = Complex{got[i].Re - ref[i].Re, got[i].Im - ref[i].Im}.Abs()
+	}
+	r := PrecisionResult{MantissaBits: mant}
+	r.Bits, r.MaxErrBits = measure(errs)
+	return r
+}
+
+// Sweep runs a measurement across mantissa widths (inclusive range) and
+// returns one result per width. kind selects "roundtrip" or "boot".
+func Sweep(e *Embedder, minMant, maxMant int, kind string, seed uint64) []PrecisionResult {
+	var out []PrecisionResult
+	for m := minMant; m <= maxMant; m++ {
+		switch kind {
+		case "roundtrip":
+			out = append(out, RoundTripPrecision(e, m, seed))
+		case "boot":
+			out = append(out, BootPrecisionProxy(e, m, seed))
+		default:
+			panic("fftfp: unknown sweep kind " + kind)
+		}
+	}
+	return out
+}
+
+// DropOffPoint returns the smallest mantissa width in results whose
+// precision meets the threshold (the paper's 19.29-bit line), or -1 if
+// none does.
+func DropOffPoint(results []PrecisionResult, thresholdBits float64) int {
+	for _, r := range results {
+		if r.Bits >= thresholdBits {
+			return r.MantissaBits
+		}
+	}
+	return -1
+}

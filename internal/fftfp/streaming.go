@@ -1,0 +1,97 @@
+package fftfp
+
+// Streaming FFT-mode model of the RFE: in FFT mode the four PNLs fuse
+// into a single P-wide complex pipeline — each complex butterfly
+// multiplication maps onto four modular multipliers (paper Eq. 12 and
+// §IV-A "Reconfigurability among PNLs"). This model executes the special
+// FFT stage by stage exactly as the fused pipeline schedules it and must
+// be bit-identical (in the reduced-precision float sense) to the in-place
+// Embedder transforms; it also reports the structural quantities the
+// hardware model prices.
+type StreamingFFT struct {
+	E *Embedder
+	P int // complex points consumed per cycle
+
+	// Stats from the last run.
+	ComplexMuls int // complex butterfly multiplications
+	RealMuls    int // = 4 × ComplexMuls: the modular multipliers borrowed
+}
+
+// NewStreamingFFT builds the fused-lane model.
+func NewStreamingFFT(e *Embedder, p int) *StreamingFFT {
+	if p < 2 || p&(p-1) != 0 {
+		panic("fftfp: P must be a power of two ≥ 2")
+	}
+	return &StreamingFFT{E: e, P: p}
+}
+
+// Forward runs the decode-direction special FFT through the staged
+// schedule, charging multiplier statistics.
+func (s *StreamingFFT) Forward(vals []Complex, ctx Ctx) {
+	e := s.E
+	if len(vals) != e.Slots {
+		panic("fftfp: expects N/2 slot values")
+	}
+	bitReverseC(vals)
+	size := e.Slots
+	for length := 2; length <= size; length <<= 1 {
+		lenh, lenq := length>>1, length<<2
+		for i := 0; i < size; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * (e.M / lenq)
+				u := vals[i+j]
+				v := ctx.Mul(vals[i+j+lenh], ctx.RoundC(e.ksi[idx]))
+				s.ComplexMuls++
+				vals[i+j] = ctx.Add(u, v)
+				vals[i+j+lenh] = ctx.Sub(u, v)
+			}
+		}
+	}
+	s.RealMuls = 4 * s.ComplexMuls
+}
+
+// Inverse runs the encode-direction inverse special FFT.
+func (s *StreamingFFT) Inverse(vals []Complex, ctx Ctx) {
+	e := s.E
+	if len(vals) != e.Slots {
+		panic("fftfp: expects N/2 slot values")
+	}
+	size := e.Slots
+	for length := size; length >= 2; length >>= 1 {
+		lenh, lenq := length>>1, length<<2
+		for i := 0; i < size; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - (e.rotGroup[j] % lenq)) * (e.M / lenq)
+				u := ctx.Add(vals[i+j], vals[i+j+lenh])
+				v := ctx.Mul(ctx.Sub(vals[i+j], vals[i+j+lenh]), ctx.RoundC(e.ksi[idx]))
+				s.ComplexMuls++
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	inv := 1 / float64(size)
+	for i := range vals {
+		vals[i] = ctx.Scale(vals[i], inv)
+	}
+	bitReverseC(vals)
+	s.RealMuls = 4 * s.ComplexMuls
+}
+
+// Structural/timing quantities -------------------------------------------
+
+// Stages is the pipeline depth: log2(slots).
+func (s *StreamingFFT) Stages() int {
+	st := 0
+	for v := s.E.Slots; v > 1; v >>= 1 {
+		st++
+	}
+	return st
+}
+
+// InitiationInterval: slots/P cycles per transform in the fused pipeline.
+func (s *StreamingFFT) InitiationInterval() int { return s.E.Slots / s.P }
+
+// BorrowedMultipliers is the count of modular multipliers the FFT mode
+// borrows from the NTT lanes: P/2 complex positions per stage × 4.
+func (s *StreamingFFT) BorrowedMultipliers() int { return s.P / 2 * s.Stages() * 4 }

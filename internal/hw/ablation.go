@@ -1,0 +1,116 @@
+package hw
+
+import (
+	"repro/internal/modmul"
+	"repro/internal/sfg"
+)
+
+// Fig. 6a: RFE area ablation. Four design points, all P=8 MDC pipelines
+// sized to produce one FFT result and four NTT results per cycle group
+// (the paper's fairness convention: non-reconfigurable designs carry a
+// separate FFT engine next to the four NTT lanes).
+//
+//	① Baseline:        radix-2 NTT lanes with separate ψ pre/post banks,
+//	                    vanilla Montgomery multipliers, dedicated FP55 FFT
+//	                    engine (radix-2).
+//	② + TF scheduling:  merged radix-2^n schedules (paper Fig. 4) shrink
+//	                    the NTT lanes to P/2·logN multipliers and the FFT
+//	                    engine to its radix-2^n optimum.
+//	③ + MontMul optim:  NTT-friendly Montgomery multipliers (Table I).
+//	④ Reconfigurable:   the FFT engine folds into the four NTT lanes
+//	                    (one complex FP multiply = four modular
+//	                    multipliers, paper Eq. 12), at the price of the
+//	                    reconfigurability overhead per multiplier.
+//
+// The paper reports a combined 31% area reduction ① → ④.
+
+// AblationPoint is one bar of Fig. 6a.
+type AblationPoint struct {
+	Label    string
+	AreaMM2  float64
+	Relative float64 // normalized to the baseline
+}
+
+type rfeVariant struct {
+	nttMultsPerLane float64
+	fftMults        float64 // dedicated FFT engine (0 when reconfigurable)
+	mmDesign        modmul.Design
+	reconfig        bool
+}
+
+func (v rfeVariant) area(cfg Config) float64 {
+	mmArea := ModMultAreaMM2(v.mmDesign)
+	perMult := mmArea
+	adder := ModAdderAreaMM2
+	if v.reconfig {
+		perMult = mmArea * ReconfigOverhead
+		adder = ReconfigAdderAreaMM2
+	}
+	lanes := float64(cfg.PNLs)
+	bfPositions := float64(cfg.P / 2 * cfg.LogN) // butterfly units per lane
+	fifo := SRAMAreaMM2(pnlFIFOKB(cfg)*FIFODoubleBuffer, false)
+	shuffle := float64(cfg.LogN) * ShufflingAreaPerStageMM2
+
+	a := lanes * v.nttMultsPerLane * perMult // NTT butterfly multipliers
+	a += lanes * bfPositions * adder         // butterfly add/sub at every position
+	a += lanes * (fifo + shuffle)            // commutators
+	if v.fftMults > 0 {
+		// Dedicated FFT engine: generic complex multipliers = 4 FP
+		// multipliers each; FP add/sub at every butterfly position; its
+		// own commutators at complex (2×) word width.
+		a += v.fftMults * 4 * FPMultAreaMM2()
+		a += 2 * bfPositions * FPAdderAreaMM2
+		a += 2*fifo + shuffle
+	}
+	return a * (1 + pnlCtrlFrac)
+}
+
+// Fig6aAblation evaluates the four design points.
+func Fig6aAblation(cfg Config) []AblationPoint {
+	logN := cfg.LogN
+	p := cfg.P
+
+	r2NTT := sfg.Design{Kind: sfg.NTT, LogN: logN, P: p, Groups: sfg.UniformGroups(logN, 1)}
+	merged := sfg.Design{Kind: sfg.NTT, LogN: logN, P: p, Merged: true}
+	r2FFT := sfg.Design{Kind: sfg.FFT, LogN: logN, P: p, Groups: sfg.UniformGroups(logN, 1)}
+	bestFFT := sfg.Summarize(sfg.FFT, logN, p)
+
+	variants := []struct {
+		label string
+		v     rfeVariant
+	}{
+		{"1. Baseline (radix-2, separate FFT/NTT)", rfeVariant{
+			nttMultsPerLane: r2NTT.MultiplierCount(),
+			fftMults:        r2FFT.MultiplierCount(),
+			mmDesign:        modmul.Montgomery,
+		}},
+		{"2. + TF scheduling", rfeVariant{
+			nttMultsPerLane: merged.MultiplierCount(),
+			fftMults:        bestFFT.MinMuls,
+			mmDesign:        modmul.Montgomery,
+		}},
+		{"3. + MontMul optimization", rfeVariant{
+			nttMultsPerLane: merged.MultiplierCount(),
+			fftMults:        bestFFT.MinMuls,
+			mmDesign:        modmul.FriendlyMontgomery,
+		}},
+		{"4. Reconfigurable (ABC-FHE)", rfeVariant{
+			nttMultsPerLane: merged.MultiplierCount(),
+			mmDesign:        modmul.FriendlyMontgomery,
+			reconfig:        true,
+		}},
+	}
+
+	out := make([]AblationPoint, len(variants))
+	base := variants[0].v.area(cfg)
+	for i, v := range variants {
+		a := v.v.area(cfg)
+		out[i] = AblationPoint{Label: v.label, AreaMM2: a, Relative: a / base}
+	}
+	return out
+}
+
+// TotalReduction returns 1 - final/baseline (the paper's 31%).
+func TotalReduction(pts []AblationPoint) float64 {
+	return 1 - pts[len(pts)-1].Relative
+}

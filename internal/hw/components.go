@@ -1,0 +1,143 @@
+// Package hw is the area/power model of ABC-FHE at 28 nm / 600 MHz: a
+// component cost library composed bottom-up into the chip of paper
+// Table II (28.638 mm², 5.654 W), the Fig. 6a RFE-area ablation, and the
+// DeepScaleTool-style 7 nm projection (§V-A: ≈0.9 mm², ≈2.1 W).
+//
+// Calibration policy (DESIGN.md): absolute anchors come from the paper's
+// published synthesis numbers — the Table I modular-multiplier areas and
+// the Table II global-scratchpad SRAM density — plus two engineering
+// constants fixed here (the floating-point/modular reconfigurability
+// overhead and control fractions). Everything else follows structurally
+// from the design objects in internal/{ntt,sfg,modmul,prng}; tests assert
+// each Table II row within tolerance and EXPERIMENTS.md records the
+// deviations.
+package hw
+
+import (
+	"repro/internal/modmul"
+)
+
+// Technology/operating point.
+const (
+	ProcessNM = 28
+	ClockMHz  = 600
+)
+
+// Datapath widths (paper §III).
+const (
+	ModWidth = 44 // integer/modular datapath bits
+	FPWidth  = 55 // custom floating-point width (1+11+43)
+)
+
+// --- Calibrated constants -------------------------------------------------
+
+// ReconfigOverhead is the area multiplier of a reconfigurable
+// modular/floating-point multiplier over the bare NTT-friendly modular
+// multiplier. The FP55 mantissa product reuses the same 44×44 array
+// (paper Eq. 12 maps one complex FP multiply onto four modular
+// multipliers), so the overhead is the exponent datapath, normalization
+// and mode muxes. Calibrated once against the Table II PNL row.
+const ReconfigOverhead = 1.6
+
+// Butterfly adders. A dedicated modular add/sub slice is tiny; an FP55
+// adder (alignment shifter + normalize + round) is close to an integer
+// multiplier in area; the reconfigurable add/sub shares the wide adder.
+const (
+	ModAdderAreaMM2      = 0.0002
+	FPAdderAreaMM2       = 0.0080
+	ReconfigAdderAreaMM2 = 0.0085
+)
+
+// ShufflingAreaPerStageMM2 covers one stage's 2n-shuffling unit: the
+// commutator muxes and inter-stage pipeline registers across P lanes.
+const ShufflingAreaPerStageMM2 = 0.006
+
+// SRAM densities, anchored on Table II rows (global scratchpad for the
+// banked macros, TF seed memory for the small single-port macro).
+const (
+	SRAMBankedMM2PerKB = 2.632 / 880.0 // double-buffered multi-bank 256-bit
+	SRAMSmallMM2PerKB  = 0.046 / 26.4  // compact single-port seed macro
+)
+
+// Power densities in W/mm², derived from the Table II area/power pairs
+// (the table is internally consistent: all SRAM rows sit at ≈0.49 W/mm²,
+// datapath logic at ≈0.13, switch-heavy SIMD/PRNG logic at ≈0.40).
+const (
+	PowerDensityLogic = 0.130
+	PowerDensitySIMD  = 0.395
+	PowerDensitySRAM  = 0.490
+)
+
+// --- Component primitives --------------------------------------------------
+
+// ModMultAreaMM2 returns the modular multiplier area for a Table I design.
+func ModMultAreaMM2(d modmul.Design) float64 {
+	return d.PaperAreaUM2() / 1e6
+}
+
+// ReconfigMultAreaMM2 is one reconfigurable FP55/44-bit-modular multiplier.
+func ReconfigMultAreaMM2() float64 {
+	return ModMultAreaMM2(modmul.FriendlyMontgomery) * ReconfigOverhead
+}
+
+// FPMultAreaMM2 models a dedicated (non-reconfigurable) FP55 multiplier:
+// the mantissa array is the friendly multiplier's array; exponent and
+// normalization add ≈80%.
+func FPMultAreaMM2() float64 {
+	return ModMultAreaMM2(modmul.FriendlyMontgomery) * 1.8
+}
+
+// FIFODoubleBuffer reflects the paper's "double-buffered SRAM" FIFO
+// implementation: twice the raw commutator storage.
+const FIFODoubleBuffer = 2.0
+
+// SRAMAreaMM2 returns macro area for a capacity in KB.
+func SRAMAreaMM2(kb float64, small bool) float64 {
+	if small {
+		return kb * SRAMSmallMM2PerKB
+	}
+	return kb * SRAMBankedMM2PerKB
+}
+
+// Block is a named area/power pair; chips are trees of blocks.
+type Block struct {
+	Name     string
+	AreaMM2  float64
+	PowerW   float64
+	Children []Block
+}
+
+// Sum recomputes area/power from children when present.
+func (b *Block) Sum() {
+	if len(b.Children) == 0 {
+		return
+	}
+	b.AreaMM2, b.PowerW = 0, 0
+	for i := range b.Children {
+		b.Children[i].Sum()
+		b.AreaMM2 += b.Children[i].AreaMM2
+		b.PowerW += b.Children[i].PowerW
+	}
+}
+
+// Flatten returns the tree as rows (depth-first), for table rendering.
+func (b *Block) Flatten() []Block {
+	out := []Block{*b}
+	for i := range b.Children {
+		out = append(out, b.Children[i].Flatten()...)
+	}
+	return out
+}
+
+func logicBlock(name string, area float64) Block {
+	return Block{Name: name, AreaMM2: area, PowerW: area * PowerDensityLogic}
+}
+
+func simdBlock(name string, area float64) Block {
+	return Block{Name: name, AreaMM2: area, PowerW: area * PowerDensitySIMD}
+}
+
+func sramBlock(name string, kb float64, small bool) Block {
+	a := SRAMAreaMM2(kb, small)
+	return Block{Name: name, AreaMM2: a, PowerW: a * PowerDensitySRAM}
+}

@@ -1,0 +1,184 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	if d := math.Abs(got-want) / want; d > tol {
+		t.Errorf("%s: got %.4f want %.4f (%.1f%% off, tol %.0f%%)",
+			name, got, want, d*100, tol*100)
+	}
+}
+
+func TestTableIIRows(t *testing.T) {
+	rows := TableII(PaperConfig())
+	if len(rows) != 11 {
+		t.Fatalf("expected 11 rows, got %d", len(rows))
+	}
+	// Composed (non-anchored) rows must land within 10% of the paper;
+	// SRAM rows and anchored rows within 2%.
+	tols := map[string]float64{
+		"4x PNL":                     0.10,
+		"Unified OTF TF Gen":         0.10,
+		"Twiddle Factor Seed Memory": 0.03,
+		"MSE":                        0.10,
+		"PRNG":                       0.02,
+		"Local Scratchpad":           0.02,
+		"RSC":                        0.08,
+		"2x RSC":                     0.08,
+		"Global Scratchpad":          0.02,
+		"Top CTRL, DMA, Etc.":        0.02,
+		"Total":                      0.08,
+	}
+	for _, r := range rows {
+		tol, ok := tols[r.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.Name)
+		}
+		within(t, r.Name+" area", r.AreaMM2, r.PaperAreaMM2, tol)
+		within(t, r.Name+" power", r.PowerW, r.PaperPowerW, tol+0.10)
+	}
+}
+
+func TestChipTotals(t *testing.T) {
+	chip := Chip(PaperConfig())
+	within(t, "total area", chip.AreaMM2, 28.638, 0.08)
+	within(t, "total power", chip.PowerW, 5.654, 0.15)
+}
+
+func TestChipCompositionConsistent(t *testing.T) {
+	chip := Chip(PaperConfig())
+	sumA, sumP := 0.0, 0.0
+	for _, c := range chip.Children {
+		sumA += c.AreaMM2
+		sumP += c.PowerW
+	}
+	if math.Abs(sumA-chip.AreaMM2) > 1e-9 || math.Abs(sumP-chip.PowerW) > 1e-9 {
+		t.Fatal("chip totals must equal the sum of children")
+	}
+}
+
+func TestScaling7nm(t *testing.T) {
+	chip := Chip(PaperConfig())
+	s := ScaledBlock(chip)
+	// Paper §V-A: ≈0.9 mm², ≈2.1 W at 7 nm.
+	within(t, "7nm area", s.AreaMM2, 0.9, 0.10)
+	within(t, "7nm power", s.PowerW, 2.1, 0.18)
+	if len(s.Children) != len(chip.Children) {
+		t.Fatal("scaling must preserve the hierarchy")
+	}
+}
+
+func TestFig6aAblation(t *testing.T) {
+	pts := Fig6aAblation(PaperConfig())
+	if len(pts) != 4 {
+		t.Fatal("four design points expected")
+	}
+	// Monotone decreasing area across the optimization sequence.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AreaMM2 >= pts[i-1].AreaMM2 {
+			t.Fatalf("ablation not monotone: %v", pts)
+		}
+	}
+	// Paper: 31% total reduction. Accept the 20–45% band (documented
+	// counting-rule differences; EXPERIMENTS.md reports the exact value).
+	red := TotalReduction(pts)
+	if red < 0.20 || red > 0.45 {
+		t.Fatalf("total RFE reduction %.3f outside the plausible band (paper 0.31)", red)
+	}
+	if pts[0].Relative != 1 {
+		t.Fatal("baseline must be normalized to 1")
+	}
+}
+
+func TestReconfigurableBeatsSeparate(t *testing.T) {
+	// The final reconfigurable point must beat point 3 (separate FFT
+	// engine with optimized multipliers): folding the FFT into the NTT
+	// lanes is the paper's headline idea.
+	pts := Fig6aAblation(PaperConfig())
+	if pts[3].AreaMM2 >= pts[2].AreaMM2 {
+		t.Fatal("reconfigurability must reduce area over a separate FFT engine")
+	}
+}
+
+func TestBlockSumAndFlatten(t *testing.T) {
+	b := Block{Name: "parent", Children: []Block{
+		{Name: "a", AreaMM2: 1, PowerW: 0.1},
+		{Name: "b", AreaMM2: 2, PowerW: 0.2},
+	}}
+	b.Sum()
+	if b.AreaMM2 != 3 || math.Abs(b.PowerW-0.3) > 1e-12 {
+		t.Fatal("Sum incorrect")
+	}
+	if got := b.Flatten(); len(got) != 3 || got[0].Name != "parent" {
+		t.Fatal("Flatten incorrect")
+	}
+}
+
+func TestPowerDensityClassesFromTableII(t *testing.T) {
+	// The densities we derived must actually reproduce the paper's own
+	// area/power pairs (internal consistency of Table II).
+	within(t, "SRAM density (GSP)", PowerDensitySRAM, 1.290/2.632, 0.02)
+	within(t, "logic density (PNL)", PowerDensityLogic, 1.397/10.717, 0.02)
+	within(t, "SIMD density (MSE)", PowerDensitySIMD, 0.298/0.787, 0.06)
+}
+
+func BenchmarkChipComposition(b *testing.B) {
+	cfg := PaperConfig()
+	for i := 0; i < b.N; i++ {
+		Chip(cfg)
+	}
+}
+
+func TestAreaMonotoneInConfig(t *testing.T) {
+	base := PaperConfig()
+	baseArea := Chip(base).AreaMM2
+
+	more := base
+	more.PNLs = 8
+	if Chip(more).AreaMM2 <= baseArea {
+		t.Fatal("more PNLs must cost area")
+	}
+	more = base
+	more.RSCs = 4
+	if Chip(more).AreaMM2 <= baseArea {
+		t.Fatal("more RSCs must cost area")
+	}
+	more = base
+	more.P = 16
+	if Chip(more).AreaMM2 <= baseArea {
+		t.Fatal("more lanes must cost area")
+	}
+	less := base
+	less.GlobalKB = 440
+	if Chip(less).AreaMM2 >= baseArea {
+		t.Fatal("less scratchpad must save area")
+	}
+}
+
+func TestPNLAreaDominatedByMultipliers(t *testing.T) {
+	// The RFE's premise: multiplier area dominates the lane, which is why
+	// the Table I and Fig. 4 optimizations matter.
+	cfg := PaperConfig()
+	pnl := PNLBlock(cfg)
+	mults := float64(pnlMultipliers(cfg)) * ReconfigMultAreaMM2()
+	if mults < 0.35*pnl.AreaMM2 {
+		t.Fatalf("multipliers %.3f mm² are not a dominant share of the PNL %.3f mm²",
+			mults, pnl.AreaMM2)
+	}
+}
+
+func TestSevenNMFactorsMatchPaperRatios(t *testing.T) {
+	if AreaScale28To7 < 0.025 || AreaScale28To7 > 0.04 {
+		t.Fatalf("area scale factor %v outside DeepScaleTool's 28→7 nm band", AreaScale28To7)
+	}
+	if PowerScale28To7 < 0.3 || PowerScale28To7 > 0.45 {
+		t.Fatalf("power scale factor %v outside plausible band", PowerScale28To7)
+	}
+}

@@ -1,0 +1,26 @@
+package hw
+
+// Technology scaling per the DeepScaleTool methodology the paper cites
+// ([31], Sarangi & Baas, ISCAS 2021): published dense-logic area and
+// power scaling factors between TSMC-class 28 nm and 7 nm.
+//
+// The paper's §V-A statement is the anchor: "scaling to a 7 nm process
+// would reduce the area to approximately 0.9 mm² and the power consumption
+// to 2.1 W" from 28.638 mm² / 5.654 W — factors of ≈0.0314 (area) and
+// ≈0.371 (power), which match DeepScaleTool's 28→7 nm dense-logic numbers
+// (area scales ≈ λ² with λ ≈ 0.177; power scales with capacitance·V²·f).
+const (
+	AreaScale28To7  = 0.9 / 28.638
+	PowerScale28To7 = 2.1 / 5.654
+)
+
+// ScaledBlock returns the block's area/power projected to 7 nm.
+func ScaledBlock(b Block) Block {
+	out := Block{Name: b.Name + " @7nm",
+		AreaMM2: b.AreaMM2 * AreaScale28To7,
+		PowerW:  b.PowerW * PowerScale28To7}
+	for _, c := range b.Children {
+		out.Children = append(out.Children, ScaledBlock(c))
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package modmul
+
+// Structural cost model. Each design is decomposed into multiplier
+// partial-product bits, shift-add adder bits and pipeline register bits;
+// areas at other widths scale by structure relative to the 44-bit Table I
+// anchors (DESIGN.md calibration policy: absolute values anchored, ratios
+// and scaling computed).
+
+// Structure tallies the hardware content of one design at width w.
+type Structure struct {
+	Design Design
+	Width  int
+
+	FullMultBits int // partial-product bits of full multipliers
+	HalfMultBits int // partial-product bits of truncated (half) multipliers
+	AdderBits    int // carry-propagate adder bits (incl. shift-add networks)
+	RegisterBits int // pipeline register bits
+}
+
+// StructureAt computes the structural decomposition of a design at operand
+// width w (bits). ShiftAddTerms parameterizes the friendly design's
+// network size (paper family: ≤ 5 terms for Q, ≤ 5 for QInv — use
+// DefaultShiftAddTerms when modelling the family generically).
+func StructureAt(d Design, w int, shiftAddTerms int) Structure {
+	s := Structure{Design: d, Width: w}
+	switch d {
+	case Barrett:
+		// T = a·b (full w×w); qm = q1·mu (full (w+1)×(w+2), wide because
+		// the quotient estimate needs guard bits); r = q2·Q (low-half
+		// (w+1)×w); two correction subtractors.
+		s.FullMultBits = w*w + (w+1)*(w+2)
+		s.HalfMultBits = (w + 1) * w / 2
+		s.AdderBits = 3 * w // subtraction + two corrections
+		s.RegisterBits = d.PipelineStages() * 2 * w
+	case Montgomery:
+		// T = a·b (full w×w); m = (T mod R)·QInv (low-half r×r);
+		// mq (high-half r×w with carry trick); one correction.
+		r := w + 2
+		s.FullMultBits = w * w
+		s.HalfMultBits = r*r/2 + r*w/2
+		s.AdderBits = 2 * w
+		s.RegisterBits = d.PipelineStages() * 2 * w
+	case FriendlyMontgomery:
+		// T = a·b (full w×w) is the only multiplier; both reductions are
+		// shift-add networks of `shiftAddTerms` adders each.
+		if shiftAddTerms <= 0 {
+			shiftAddTerms = DefaultShiftAddTerms
+		}
+		s.FullMultBits = w * w
+		s.HalfMultBits = 0
+		s.AdderBits = 2*shiftAddTerms*w + 2*w
+		s.RegisterBits = d.PipelineStages() * 2 * w
+	}
+	return s
+}
+
+// DefaultShiftAddTerms is the family-generic network size: NAF weight ≤ 5
+// for both Q and QInv.
+const DefaultShiftAddTerms = 5
+
+// weights of the structural unit costs relative to a full-multiplier
+// partial-product bit. Register bits in a 600 MHz 28 nm flow cost roughly
+// 4× a partial-product bit (a flop ≈ 4–5 NAND-equivalents vs ~1 for an
+// AND+3:2 compressor slice); adders ≈ 3×. These are engineering constants,
+// not fits — the absolute anchor below absorbs the overall scale.
+const (
+	unitFullMult = 1.0
+	unitHalfMult = 1.0
+	unitAdder    = 3.0
+	unitRegister = 4.0
+)
+
+// Units collapses a structure to scalar structural units.
+func (s Structure) Units() float64 {
+	return unitFullMult*float64(s.FullMultBits) +
+		unitHalfMult*float64(s.HalfMultBits) +
+		unitAdder*float64(s.AdderBits) +
+		unitRegister*float64(s.RegisterBits)
+}
+
+// AreaUM2 returns the modelled area at width w: the Table I anchor scaled
+// by structural units relative to the anchor width (44 bits).
+func AreaUM2(d Design, w int) float64 {
+	anchor := StructureAt(d, 44, DefaultShiftAddTerms).Units()
+	at := StructureAt(d, w, DefaultShiftAddTerms).Units()
+	return d.PaperAreaUM2() * at / anchor
+}
+
+// ReductionVsBarrett returns the fractional area reduction of design d
+// versus Barrett at the anchor width (paper: 67.7% for the friendly
+// design, 45.1% for vanilla Montgomery).
+func ReductionVsBarrett(d Design) float64 {
+	return 1 - d.PaperAreaUM2()/Barrett.PaperAreaUM2()
+}
+
+// ReductionVsMontgomery returns the friendly design's reduction versus
+// vanilla Montgomery (paper: 41.2%).
+func ReductionVsMontgomery() float64 {
+	return 1 - FriendlyMontgomery.PaperAreaUM2()/Montgomery.PaperAreaUM2()
+}
+
+// ModelReductionVsBarrett is the same ratio produced purely by the
+// structural model (no Table I anchors) — how close first-principles
+// structure gets to the synthesis numbers; EXPERIMENTS.md reports both.
+func ModelReductionVsBarrett(d Design) float64 {
+	b := StructureAt(Barrett, 44, DefaultShiftAddTerms).Units()
+	x := StructureAt(d, 44, DefaultShiftAddTerms).Units()
+	return 1 - x/b
+}

@@ -1,0 +1,320 @@
+// Package modmul models the three hardware modular-multiplier designs the
+// paper compares in Table I:
+//
+//	Algorithm                 Area (µm²)   Pipeline stages
+//	Vanilla Barrett              35054           4
+//	Vanilla Montgomery           19255           3
+//	NTT-friendly Montgomery      11328           3
+//
+// Each design is implemented *bit-accurately* at hardware width (operands
+// and intermediate truncations exactly as the datapath would compute them)
+// and verified against the reference a·b mod q. The structural model
+// (multiplier bits, shift-add adder bits, pipeline registers) feeds the
+// area/power library in internal/hw; absolute areas are anchored to
+// Table I per the calibration policy in DESIGN.md.
+package modmul
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/primes"
+)
+
+// Design identifies one of the Table I datapaths.
+type Design int
+
+const (
+	// Barrett is the vanilla Barrett reduction: three full multipliers and
+	// a two-step correction, 4 pipeline stages.
+	Barrett Design = iota
+	// Montgomery is word-level Montgomery reduction with radix R = 2^r:
+	// one full multiplier plus a low-half and a high-half multiplier,
+	// 3 pipeline stages.
+	Montgomery
+	// FriendlyMontgomery is the paper's contribution: Montgomery reduction
+	// over the NTT-friendly prime family, where both the ·QInv and the ·Q
+	// multiplications collapse to shift-and-add networks — a single real
+	// multiplier survives.
+	FriendlyMontgomery
+)
+
+func (d Design) String() string {
+	switch d {
+	case Barrett:
+		return "Vanilla Barrett"
+	case Montgomery:
+		return "Vanilla Montgomery"
+	case FriendlyMontgomery:
+		return "NTT-Friendly Montgomery"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// PipelineStages returns the pipeline depth from Table I.
+func (d Design) PipelineStages() int {
+	if d == Barrett {
+		return 4
+	}
+	return 3
+}
+
+// PaperAreaUM2 returns the Table I synthesis area at 44-bit width, 600 MHz,
+// 28 nm — the calibration anchors.
+func (d Design) PaperAreaUM2() float64 {
+	switch d {
+	case Barrett:
+		return 35054
+	case Montgomery:
+		return 19255
+	case FriendlyMontgomery:
+		return 11328
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Bit-accurate datapath models
+// ---------------------------------------------------------------------
+
+// BarrettUnit is the vanilla Barrett datapath for a fixed modulus.
+type BarrettUnit struct {
+	Q  uint64
+	W  int    // operand width (bits of Q)
+	Mu uint64 // floor(2^(2W+1) / Q), W+2 bits
+}
+
+// NewBarrettUnit precomputes the Barrett constant for q.
+func NewBarrettUnit(q uint64) *BarrettUnit {
+	w := bits.Len64(q)
+	if w > 30 && w < 32 {
+		w = 32
+	}
+	// mu = floor(2^(2w+1)/q) — fits in w+2 bits for q ≥ 2^(w-1).
+	// Computed via 128-bit division.
+	hi := uint64(1) << uint(2*w+1-64)
+	var mu uint64
+	if 2*w+1 >= 64 {
+		mu, _ = bits.Div64(hi, 0, q)
+	} else {
+		mu = (uint64(1) << uint(2*w+1)) / q
+	}
+	return &BarrettUnit{Q: q, W: w, Mu: mu}
+}
+
+// Mul computes a·b mod q exactly as the 4-stage pipeline would:
+// full product, truncated quotient estimate, product subtraction, final
+// conditional corrections.
+func (u *BarrettUnit) Mul(a, b uint64) uint64 {
+	// Stage 1: full product T = a·b (2W bits).
+	thi, tlo := bits.Mul64(a, b)
+	// Stage 2: q1 = T >> (W-1); qm = q1 · Mu; q2 = qm >> (W+2).
+	q1 := shr128(thi, tlo, uint(u.W-1)) // W+1 bits
+	qmHi, qmLo := bits.Mul64(q1, u.Mu)
+	q2 := shr128(qmHi, qmLo, uint(u.W+2))
+	// Stage 3: r = T - q2·Q (mod 2^64 is fine: result < 3Q).
+	r := tlo - q2*u.Q
+	// Stage 4: up to two correction subtractions.
+	if r >= u.Q {
+		r -= u.Q
+	}
+	if r >= u.Q {
+		r -= u.Q
+	}
+	return r
+}
+
+func shr128(hi, lo uint64, s uint) uint64 {
+	if s == 0 {
+		return lo
+	}
+	if s >= 64 {
+		return hi >> (s - 64)
+	}
+	return lo>>s | hi<<(64-s)
+}
+
+// MontgomeryUnit is the vanilla Montgomery datapath with radix R = 2^R
+// (R ≥ W+1 so R > Q) for a fixed modulus.
+type MontgomeryUnit struct {
+	Q    uint64
+	W    int
+	R    uint   // radix exponent
+	QInv uint64 // -Q^{-1} mod 2^R
+	rsq  uint64 // R² mod Q, for domain conversion
+}
+
+// NewMontgomeryUnit precomputes constants; r defaults to W+2 when 0.
+func NewMontgomeryUnit(q uint64, r uint) *MontgomeryUnit {
+	w := bits.Len64(q)
+	if r == 0 {
+		r = uint(w + 2)
+	}
+	if r > 63 {
+		panic("modmul: radix exponent must be ≤ 63")
+	}
+	// Newton iteration for q^{-1} mod 2^r, then negate.
+	inv := q
+	for i := 0; i < 6; i++ {
+		inv *= 2 - q*inv
+	}
+	mask := (uint64(1) << r) - 1
+	u := &MontgomeryUnit{Q: q, W: w, R: r, QInv: (-inv) & mask}
+	// R² mod Q by doubling (setup only).
+	rsq := uint64(1)
+	for i := uint(0); i < 2*r; i++ {
+		rsq <<= 1
+		if rsq >= q {
+			rsq -= q
+		}
+	}
+	u.rsq = rsq
+	return u
+}
+
+// REDC computes T·R^{-1} mod Q for T = a·b (the 3-stage pipeline):
+// m = (T mod R)·QInv mod R, then t = (T + m·Q)/R with one correction.
+func (u *MontgomeryUnit) REDC(a, b uint64) uint64 {
+	mask := (uint64(1) << u.R) - 1
+	thi, tlo := bits.Mul64(a, b)
+	m := ((tlo & mask) * u.QInv) & mask // low-half multiplier
+	mqHi, mqLo := bits.Mul64(m, u.Q)    // high-half + carry trick
+	sumLo, carry := bits.Add64(tlo, mqLo, 0)
+	sumHi := thi + mqHi + carry
+	t := shr128(sumHi, sumLo, u.R)
+	if t >= u.Q {
+		t -= u.Q
+	}
+	return t
+}
+
+// Mul computes a·b mod q with domain conversions folded in (two REDC
+// passes: one to multiply, one with R² to undo the R^{-1}).
+func (u *MontgomeryUnit) Mul(a, b uint64) uint64 {
+	t := u.REDC(a, b) // a·b·R^{-1}
+	return u.REDC(t, u.rsq)
+}
+
+// ToMont converts a into the Montgomery domain.
+func (u *MontgomeryUnit) ToMont(a uint64) uint64 { return u.REDC(a, u.rsq) }
+
+// FromMont converts out of the Montgomery domain.
+func (u *MontgomeryUnit) FromMont(a uint64) uint64 { return u.REDC(a, 1) }
+
+// FriendlyUnit is the NTT-friendly Montgomery datapath: identical
+// structure to MontgomeryUnit, but the ·QInv and ·Q products are computed
+// by signed shift-add networks derived from the prime's decomposition
+// (paper Eq. 11). Only a·b uses a real multiplier.
+type FriendlyUnit struct {
+	P     primes.FriendlyPrime
+	R     uint
+	qInv  uint64              // closed-form QInv mod 2^R (verified at build)
+	qInvT []primes.SignedTerm // NAF of qInv: the shift-add network
+	qT    []primes.SignedTerm // signed decomposition of Q
+	rsq   uint64
+}
+
+// NewFriendlyUnit builds the datapath for a family prime. The radix 2^r
+// must satisfy the Eq. 11 feasibility bound r ≤ 2·v₂(Q-1); r = 0 selects
+// the largest feasible radix above the operand width (or fails).
+func NewFriendlyUnit(p primes.FriendlyPrime, r uint) (*FriendlyUnit, error) {
+	w := bits.Len64(p.Q)
+	maxR := 2 * p.TwoAdicity()
+	if r == 0 {
+		r = uint(w + 1)
+		if r > maxR {
+			return nil, fmt.Errorf("modmul: prime %d admits radix ≤ 2^%d < operand width %d",
+				p.Q, maxR, w)
+		}
+	}
+	if r > maxR || r > 63 {
+		return nil, fmt.Errorf("modmul: radix 2^%d infeasible for prime %d (max 2^%d)", r, p.Q, maxR)
+	}
+	u := &FriendlyUnit{P: p, R: r}
+	u.qInv = p.QInvShiftAdd(r)
+	u.qInvT = primes.NAF(u.qInv)
+	u.qT = primes.NAF(p.Q)
+	rsq := uint64(1)
+	for i := uint(0); i < 2*r; i++ {
+		rsq <<= 1
+		if rsq >= p.Q {
+			rsq -= p.Q
+		}
+	}
+	u.rsq = rsq
+	return u, nil
+}
+
+// shiftAddMul multiplies x by the signed-term constant, reduced mod 2^r —
+// the hardware's adder tree, evaluated term by term.
+func shiftAddMul(x uint64, terms []primes.SignedTerm, r uint) uint64 {
+	mask := (uint64(1) << r) - 1
+	var acc uint64
+	for _, t := range terms {
+		v := (x << (t.Exp % 64)) & mask
+		if t.Sign > 0 {
+			acc += v
+		} else {
+			acc -= v
+		}
+	}
+	return acc & mask
+}
+
+// REDC computes a·b·R^{-1} mod Q with the shift-add networks, using the
+// paper's subtractive formulation (Eq. 5–7): m = (T mod R)·QInv mod R with
+// the *positive* inverse QInv = Q^{-1} mod R from Eq. 11, then
+// t = (T - m·Q)/R, adding Q back when the difference is negative.
+func (u *FriendlyUnit) REDC(a, b uint64) uint64 {
+	mask := (uint64(1) << u.R) - 1
+	thi, tlo := bits.Mul64(a, b) // the only real multiplier
+	m := shiftAddMul(tlo&mask, u.qInvT, u.R)
+	// m·Q via the signed decomposition of Q (full 128-bit accumulation).
+	var mqHi, mqLo uint64
+	for _, t := range u.qT {
+		vHi, vLo := shl128(m, t.Exp)
+		if t.Sign > 0 {
+			var c uint64
+			mqLo, c = bits.Add64(mqLo, vLo, 0)
+			mqHi += vHi + c
+		} else {
+			var bo uint64
+			mqLo, bo = bits.Sub64(mqLo, vLo, 0)
+			mqHi -= vHi + bo
+		}
+	}
+	// T - m·Q as a two's-complement 128-bit value; it is an exact multiple
+	// of R, so the logical shift is exact, and the wrap-around of the
+	// unsigned arithmetic makes the +Q correction land on the right value.
+	dLo, borrow := bits.Sub64(tlo, mqLo, 0)
+	dHi := thi - mqHi - borrow
+	t := shr128(dHi, dLo, u.R)
+	if int64(dHi) < 0 { // Eq. 7: t < 0 → t + Q
+		t += u.P.Q
+	}
+	if t >= u.P.Q {
+		t -= u.P.Q
+	}
+	return t
+}
+
+func shl128(v uint64, s uint) (hi, lo uint64) {
+	if s == 0 {
+		return 0, v
+	}
+	if s >= 64 {
+		return v << (s - 64), 0
+	}
+	return v >> (64 - s), v << s
+}
+
+// Mul computes a·b mod Q with folded domain conversion.
+func (u *FriendlyUnit) Mul(a, b uint64) uint64 {
+	return u.REDC(u.REDC(a, b), u.rsq)
+}
+
+// ShiftAddAdders reports the adder count of the two networks — the
+// hardware the single surviving multiplier is traded against.
+func (u *FriendlyUnit) ShiftAddAdders() int {
+	return len(u.qInvT) + len(u.qT)
+}

@@ -1,0 +1,54 @@
+package ntt
+
+// Lazy-reduction forward NTT: the software analogue of what the RFE's
+// 44-bit datapath headroom buys in hardware. Limb primes are ≤ 36 bits
+// while the datapath is 44 bits wide (paper §III), so butterfly outputs
+// can stay in the extended range [0, 4q) across stages, skipping the
+// conditional corrections; a single final pass normalizes into [0, q).
+//
+// The classic formulation (Harvey, "Faster arithmetic for number-theoretic
+// transforms"): with inputs in [0, 4q), compute
+//
+//	u' = u - (u ≥ 2q ? 2q : 0)        — one conditional subtraction
+//	v' = MRed(v, w)                   — result in [0, 2q) (lazy Montgomery)
+//	out0 = u' + v'          ∈ [0, 4q)
+//	out1 = u' - v' + 2q     ∈ [0, 4q)
+//
+// Correct whenever 4q < 2^62 (true for every limb width used here).
+
+// ForwardLazy computes the forward negacyclic NTT with lazy reduction.
+// Input in [0, q), output in [0, q) (normalized in the final sweep);
+// intermediate values roam [0, 4q).
+func (t *Table) ForwardLazy(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.Mod
+	q := m.Q
+	twoQ := 2 * q
+	for mm, tt := 1, t.N>>1; mm < t.N; mm, tt = mm<<1, tt>>1 {
+		for i := 0; i < mm; i++ {
+			s := t.PsiRev[mm+i]
+			j1 := 2 * i * tt
+			for j := j1; j < j1+tt; j++ {
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := m.MRedMulLazy(a[j+tt], s) // ∈ [0, 2q)
+				a[j] = u + v
+				a[j+tt] = u - v + twoQ
+			}
+		}
+	}
+	for j := range a {
+		v := a[j]
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		a[j] = v
+	}
+}

@@ -1,0 +1,329 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+// Test moduli: (N, q) pairs with q ≡ 1 mod 2N.
+var testCfgs = []struct {
+	n int
+	q uint64
+}{
+	{8, 97},             // tiny: 97 ≡ 1 mod 16
+	{16, 97},            // 97 ≡ 1 mod 32
+	{256, 7681},         // Kyber-era prime
+	{1024, 132120577},   // 27-bit
+	{4096, 68718428161}, // 36-bit CKKS limb
+}
+
+func randPoly(n int, q uint64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+	}
+	return a
+}
+
+func TestForwardInverseIdentity(t *testing.T) {
+	for _, cfg := range testCfgs {
+		tbl := MustTable(cfg.n, cfg.q)
+		a := randPoly(cfg.n, cfg.q, 1)
+		b := append([]uint64(nil), a...)
+		tbl.Forward(b)
+		tbl.Inverse(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("N=%d q=%d: INTT(NTT(a)) != a at %d", cfg.n, cfg.q, i)
+			}
+		}
+	}
+}
+
+func TestPolyMulMatchesNaive(t *testing.T) {
+	for _, cfg := range testCfgs {
+		if cfg.n > 1024 {
+			continue // naive is O(N²)
+		}
+		tbl := MustTable(cfg.n, cfg.q)
+		a := randPoly(cfg.n, cfg.q, 2)
+		b := randPoly(cfg.n, cfg.q, 3)
+		got := tbl.PolyMulNTT(a, b)
+		want := tbl.PolyMulNaive(a, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("N=%d q=%d: NTT product differs from naive at %d: %d vs %d",
+					cfg.n, cfg.q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The negacyclic wrap: X^N ≡ -1. Multiplying by X (shift by one) must
+// negate the wrapped coefficient.
+func TestNegacyclicWrap(t *testing.T) {
+	tbl := MustTable(16, 97)
+	a := make([]uint64, 16)
+	a[15] = 5 // a = 5·X^15
+	x := make([]uint64, 16)
+	x[1] = 1 // multiply by X
+	got := tbl.PolyMulNTT(a, x)
+	// 5·X^16 = -5
+	if got[0] != 97-5 {
+		t.Fatalf("X^N wrap: got %d want %d", got[0], 97-5)
+	}
+	for i := 1; i < 16; i++ {
+		if got[i] != 0 {
+			t.Fatalf("unexpected coefficient at %d", i)
+		}
+	}
+}
+
+// Linearity of the transform (property-based): NTT(αa + b) = αNTT(a)+NTT(b).
+func TestNTTLinearityQuick(t *testing.T) {
+	tbl := MustTable(64, 7681)
+	m := tbl.Mod
+	f := func(seedA, seedB int64, alpha uint64) bool {
+		alpha %= tbl.Mod.Q
+		a := randPoly(64, tbl.Mod.Q, seedA)
+		b := randPoly(64, tbl.Mod.Q, seedB)
+		lin := make([]uint64, 64)
+		for i := range lin {
+			lin[i] = m.Add(m.Mul(alpha, a[i]), b[i])
+		}
+		tbl.Forward(lin)
+		tbl.Forward(a)
+		tbl.Forward(b)
+		for i := range lin {
+			if lin[i] != m.Add(m.Mul(alpha, a[i]), b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOTFGenMatchesTables(t *testing.T) {
+	for _, cfg := range testCfgs {
+		tbl := MustTable(cfg.n, cfg.q)
+		gen := NewOTFGen(tbl)
+		for s := 0; s < tbl.LogN; s++ {
+			mm := 1 << uint(s)
+			fw := gen.StageForward(s)
+			for i := 0; i < mm; i++ {
+				if fw[i] != tbl.PsiRev[mm+i] {
+					t.Fatalf("N=%d q=%d stage %d: OTF forward twiddle %d mismatch",
+						cfg.n, cfg.q, s, i)
+				}
+			}
+			inv := gen.StageInverse(s)
+			for i := 0; i < mm; i++ {
+				if inv[i] != tbl.PsiInvRev[mm+i] {
+					t.Fatalf("N=%d q=%d stage %d: OTF inverse twiddle %d mismatch",
+						cfg.n, cfg.q, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOTFSeedFootprint(t *testing.T) {
+	// The whole point of the OTF generator: seed storage is O(logN) words,
+	// versus N words for the full table — a >99.9% reduction at N=2^16
+	// (paper §IV-B).
+	tbl := MustTable(4096, 68718428161)
+	gen := NewOTFGen(tbl)
+	seedBytes := gen.SeedBytes(8)
+	tableBytes := 2 * tbl.N * 8 // forward + inverse tables
+	if seedBytes >= tableBytes/100 {
+		t.Fatalf("seed footprint %dB not ≪ table footprint %dB", seedBytes, tableBytes)
+	}
+}
+
+func TestStreamingLaneBitIdentical(t *testing.T) {
+	for _, cfg := range testCfgs {
+		tbl := MustTable(cfg.n, cfg.q)
+		p := 8
+		if p > cfg.n {
+			p = cfg.n / 2
+		}
+		lane := NewStreamingLane(tbl, p)
+		a := randPoly(cfg.n, cfg.q, 4)
+		ref := append([]uint64(nil), a...)
+		st := append([]uint64(nil), a...)
+
+		tbl.Forward(ref)
+		lane.Forward(st)
+		for i := range ref {
+			if ref[i] != st[i] {
+				t.Fatalf("N=%d: streaming forward differs at %d", cfg.n, i)
+			}
+		}
+		tbl.Inverse(ref)
+		lane.Inverse(st)
+		for i := range ref {
+			if ref[i] != st[i] {
+				t.Fatalf("N=%d: streaming inverse differs at %d", cfg.n, i)
+			}
+		}
+	}
+}
+
+func TestStreamingLaneStats(t *testing.T) {
+	tbl := MustTable(1024, 132120577)
+	lane := NewStreamingLane(tbl, 8)
+	a := randPoly(1024, tbl.Mod.Q, 5)
+	lane.Forward(a)
+	// One multiplication per butterfly: (N/2)·logN.
+	want := 512 * 10
+	if lane.ButterflyMuls != want {
+		t.Fatalf("butterfly muls = %d, want %d", lane.ButterflyMuls, want)
+	}
+	// Physical structure: P/2·logN multipliers (paper's minimum).
+	if lane.MultiplierUnits() != 4*10 {
+		t.Fatalf("multiplier units = %d, want 40", lane.MultiplierUnits())
+	}
+	// II = N/P.
+	if lane.InitiationInterval() != 128 {
+		t.Fatalf("II = %d, want 128", lane.InitiationInterval())
+	}
+	// FIFO storage is O(N/P) per lane pair and decreasing per stage.
+	depths := lane.FIFODepths()
+	for s := 1; s < len(depths); s++ {
+		if depths[s] > depths[s-1] {
+			t.Fatalf("FIFO depths must be non-increasing: %v", depths)
+		}
+	}
+	if lane.TransformCycles(1) <= lane.InitiationInterval() {
+		t.Fatal("fill latency must be positive")
+	}
+	// Back-to-back streaming amortizes fill.
+	c1 := lane.TransformCycles(1)
+	c10 := lane.TransformCycles(10)
+	if c10 >= 10*c1 {
+		t.Fatal("streaming must amortize pipeline fill")
+	}
+}
+
+// Streaming transform of PRNG-generated polynomials: exercises the
+// integration the accelerator performs (PRNG → NTT) and checks the
+// round-trip through both implementations.
+func TestPRNGToNTTIntegration(t *testing.T) {
+	tbl := MustTable(4096, 68718428161)
+	lane := NewStreamingLane(tbl, 8)
+	src := prng.NewSource(prng.SeedFromUint64s(99, 100), 0)
+	a := make([]uint64, 4096)
+	src.UniformPoly(a, tbl.Mod.Q)
+	orig := append([]uint64(nil), a...)
+	lane.Forward(a)
+	lane.Inverse(a)
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestGrayMulsPerStage(t *testing.T) {
+	if GrayMulsPerStage(0) != 0 || GrayMulsPerStage(1) != 1 || GrayMulsPerStage(4) != 15 {
+		t.Fatal("Gray-schedule multiplication counts wrong")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	a := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	BitReverse(a)
+	want := []uint64{0, 4, 2, 6, 1, 5, 3, 7}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("BitReverse: got %v want %v", a, want)
+		}
+	}
+	BitReverse(a) // involution
+	for i := range a {
+		if a[i] != uint64(i) {
+			t.Fatal("BitReverse is not an involution")
+		}
+	}
+}
+
+func BenchmarkNTTForward4096(b *testing.B) {
+	tbl := MustTable(4096, 68718428161)
+	a := randPoly(4096, tbl.Mod.Q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Forward(a)
+	}
+}
+
+func BenchmarkNTTForward65536(b *testing.B) {
+	tbl := MustTable(65536, 68718428161)
+	a := randPoly(65536, tbl.Mod.Q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Forward(a)
+	}
+}
+
+func BenchmarkStreamingForward4096(b *testing.B) {
+	tbl := MustTable(4096, 68718428161)
+	lane := NewStreamingLane(tbl, 8)
+	a := randPoly(4096, tbl.Mod.Q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Forward(a)
+	}
+}
+
+func TestForwardLazyMatchesForward(t *testing.T) {
+	for _, cfg := range testCfgs {
+		tbl := MustTable(cfg.n, cfg.q)
+		a := randPoly(cfg.n, cfg.q, 9)
+		ref := append([]uint64(nil), a...)
+		lz := append([]uint64(nil), a...)
+		tbl.Forward(ref)
+		tbl.ForwardLazy(lz)
+		for i := range ref {
+			if ref[i] != lz[i] {
+				t.Fatalf("N=%d q=%d: lazy forward differs at %d: %d vs %d",
+					cfg.n, cfg.q, i, lz[i], ref[i])
+			}
+		}
+	}
+}
+
+// Property: lazy and strict forward transforms agree on arbitrary inputs.
+func TestForwardLazyQuick(t *testing.T) {
+	tbl := MustTable(256, 7681)
+	f := func(seed int64) bool {
+		a := randPoly(256, tbl.Mod.Q, seed)
+		b := append([]uint64(nil), a...)
+		tbl.Forward(a)
+		tbl.ForwardLazy(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNTTForwardLazy65536(b *testing.B) {
+	tbl := MustTable(65536, 68718428161)
+	a := randPoly(65536, tbl.Mod.Q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.ForwardLazy(a)
+	}
+}

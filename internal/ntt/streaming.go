@@ -1,0 +1,184 @@
+package ntt
+
+// StreamingLane is the functional mirror of one ABC-FHE pipelined NTT lane
+// (PNL): a P-parallel multi-path delay commutator (MDC) pipeline of
+// log2(N) radix-2 butterfly stages whose twiddles come from the on-the-fly
+// generator rather than a table (paper §IV-A, Fig. 3c).
+//
+// Functionally a streaming MDC pipeline computes exactly the same butterfly
+// schedule as the in-place loop, so this model executes the stages against
+// the OTF generator output and must be bit-identical to Table.Forward /
+// Table.Inverse — the test suite enforces that. Structurally it reports
+// the quantities the hardware model prices: butterfly/multiplier counts,
+// commutator FIFO depths, and the pipeline's fill latency and initiation
+// interval in cycles.
+type StreamingLane struct {
+	T *Table
+	P int // coefficients consumed per cycle (paper: P = 8)
+
+	// ButterflyLatency is the butterfly pipeline depth in cycles; the
+	// NTT-friendly Montgomery multiplier is 3 stages (paper Table I), plus
+	// one stage of add/sub — 4 total by default.
+	ButterflyLatency int
+
+	Gen *OTFGen
+
+	// Stats from the last transform.
+	TwiddleMuls   int // multiplications spent by the OTF generator
+	ButterflyMuls int // datapath modular multiplications (one per butterfly)
+}
+
+// NewStreamingLane builds a lane model over table t with P-way parallelism.
+func NewStreamingLane(t *Table, p int) *StreamingLane {
+	if p < 2 || p&(p-1) != 0 || p > t.N {
+		panic("ntt: P must be a power of two in [2, N]")
+	}
+	return &StreamingLane{T: t, P: p, ButterflyLatency: 4, Gen: NewOTFGen(t)}
+}
+
+// Forward runs the streaming forward NTT (natural order in/out),
+// bit-identical to T.Forward but sourcing every twiddle from the OTF
+// generator.
+func (l *StreamingLane) Forward(a []uint64) {
+	t := l.T
+	m := t.Mod
+	q := m.Q
+	gen0 := l.Gen.MulCount
+	for s, tt := 0, t.N>>1; tt >= 1; s, tt = s+1, tt>>1 {
+		tws := l.Gen.StageForward(s)
+		mm := 1 << uint(s)
+		for i := 0; i < mm; i++ {
+			w := tws[i]
+			j1 := 2 * i * tt
+			for j := j1; j < j1+tt; j++ {
+				u := a[j]
+				v := m.MRedMul(a[j+tt], w)
+				l.ButterflyMuls++
+				uv := u + v
+				if uv >= q {
+					uv -= q
+				}
+				a[j] = uv
+				uv = u - v
+				if u < v {
+					uv += q
+				}
+				a[j+tt] = uv
+			}
+		}
+	}
+	l.TwiddleMuls += l.Gen.MulCount - gen0
+}
+
+// Inverse runs the streaming inverse NTT with OTF twiddles, including the
+// final N^{-1} scaling (bit-identical to T.Inverse).
+func (l *StreamingLane) Inverse(a []uint64) {
+	t := l.T
+	m := t.Mod
+	q := m.Q
+	gen0 := l.Gen.MulCount
+	tt := 1
+	for mm := t.N; mm > 1; mm >>= 1 {
+		h := mm >> 1
+		s := log2(h)
+		tws := l.Gen.StageInverse(s)
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := tws[i]
+			for j := j1; j < j1+tt; j++ {
+				u := a[j]
+				v := a[j+tt]
+				uv := u + v
+				if uv >= q {
+					uv -= q
+				}
+				a[j] = uv
+				uv = u - v
+				if u < v {
+					uv += q
+				}
+				a[j+tt] = m.MRedMul(uv, w)
+				l.ButterflyMuls++
+			}
+			j1 += 2 * tt
+		}
+		tt <<= 1
+	}
+	for j := range a {
+		a[j] = m.MRedMul(a[j], t.NInv)
+	}
+	l.TwiddleMuls += l.Gen.MulCount - gen0
+}
+
+func log2(v int) int {
+	s := 0
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// Structural/timing quantities ------------------------------------------
+
+// Stages returns the number of pipeline stages (log2 N).
+func (l *StreamingLane) Stages() int { return l.T.LogN }
+
+// ButterflyUnits returns the number of physical butterfly units: P/2 per
+// stage in an MDC backbone.
+func (l *StreamingLane) ButterflyUnits() int { return l.P / 2 * l.Stages() }
+
+// MultiplierUnits returns the number of physical modular multipliers —
+// one per butterfly unit under merged-ψ scheduling, the paper's
+// P/2·log2(N) theoretical minimum (Fig. 4).
+func (l *StreamingLane) MultiplierUnits() int { return l.ButterflyUnits() }
+
+// FIFODepths returns the per-stage commutator FIFO depths (elements): the
+// MDC shuffling structure needs buffers matching the butterfly distance
+// divided by the lane parallelism, and they halve each stage ("2n FIFO" in
+// paper Fig. 3b, implemented as double-buffered SRAM).
+func (l *StreamingLane) FIFODepths() []int {
+	d := make([]int, l.Stages())
+	for s := 0; s < l.Stages(); s++ {
+		t := l.T.N >> uint(s+1) // butterfly distance at stage s
+		depth := 2 * t / l.P    // pair of delay lines across P lanes
+		if depth < 2 {
+			depth = 2
+		}
+		d[s] = depth
+	}
+	return d
+}
+
+// TotalFIFOElems sums FIFO storage over all stages.
+func (l *StreamingLane) TotalFIFOElems() int {
+	total := 0
+	for _, d := range l.FIFODepths() {
+		total += d
+	}
+	return total
+}
+
+// InitiationInterval is the steady-state cycles between successive
+// N-point transforms: the lane consumes P coefficients per cycle.
+func (l *StreamingLane) InitiationInterval() int { return l.T.N / l.P }
+
+// FillLatency is the pipeline fill time in cycles: each stage contributes
+// its butterfly latency plus the commutator delay before its first valid
+// output.
+func (l *StreamingLane) FillLatency() int {
+	fill := 0
+	for _, d := range l.FIFODepths() {
+		fill += l.ButterflyLatency + d/2
+	}
+	return fill
+}
+
+// TransformCycles returns the latency in cycles to stream k back-to-back
+// N-point transforms through the lane: fill + k·II.
+func (l *StreamingLane) TransformCycles(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return l.FillLatency() + k*l.InitiationInterval()
+}

@@ -1,0 +1,106 @@
+// Package ntt implements the negacyclic number-theoretic transform over
+// Z_q[X]/(X^N+1) — the workhorse of both our CKKS client (internal/ckks)
+// and the functional model of ABC-FHE's pipelined NTT lanes (PNLs).
+//
+// Two implementations are provided and cross-checked:
+//
+//   - a table-based reference (merged-ψ Cooley–Tukey forward /
+//     Gentleman–Sande inverse, the standard software formulation), and
+//   - a streaming lane model that mirrors the hardware: stage-by-stage
+//     processing with twiddles produced by an on-the-fly generator from a
+//     compact seed set (paper §III/IV: "unified OTF TF Gen"), bit-identical
+//     to the reference.
+//
+// The merged-ψ trick (paper Eq. 2–3, citing Roy et al. [30] and
+// Pöppelmann et al. [27]) folds the negacyclic pre/post-processing by
+// ψ^n into the stage twiddles, which is what lets the hardware reach the
+// theoretical minimum multiplier count (paper Fig. 4).
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mod"
+)
+
+// Table holds every precomputed constant for transforms of degree N over
+// modulus q. Tables are immutable after construction and safe to share.
+type Table struct {
+	N    int
+	LogN int
+	Mod  mod.Modulus
+
+	Psi    uint64 // primitive 2N-th root of unity (plain form)
+	PsiInv uint64 // ψ^{-1}
+
+	// PsiRev[i] = ψ^{brev(i, logN)} in Montgomery form; the forward CT
+	// butterfly at step m uses PsiRev[m+i]. PsiInvRev likewise for ψ^{-1}
+	// (Gentleman–Sande inverse).
+	PsiRev    []uint64
+	PsiInvRev []uint64
+
+	NInv uint64 // N^{-1} mod q in Montgomery form
+}
+
+// NewTable builds transform tables for degree N (a power of two ≥ 2) over
+// prime q, which must satisfy q ≡ 1 (mod 2N).
+func NewTable(n int, q uint64) (*Table, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: N=%d is not a power of two ≥ 2", n)
+	}
+	m := mod.NewModulus(q)
+	if (q-1)%uint64(2*n) != 0 {
+		return nil, fmt.Errorf("ntt: q=%d is not ≡ 1 mod 2N=%d", q, 2*n)
+	}
+	psi, err := m.MinimalPrimitiveRoot(uint64(2 * n))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		N:    n,
+		LogN: bits.Len(uint(n)) - 1,
+		Mod:  m,
+		Psi:  psi,
+	}
+	t.PsiInv = m.Inv(psi)
+	t.PsiRev = make([]uint64, n)
+	t.PsiInvRev = make([]uint64, n)
+	pow, powInv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := int(brev(uint(i), t.LogN))
+		t.PsiRev[r] = m.MForm(pow)
+		t.PsiInvRev[r] = m.MForm(powInv)
+		pow = m.Mul(pow, psi)
+		powInv = m.Mul(powInv, t.PsiInv)
+	}
+	t.NInv = m.MForm(m.Inv(uint64(n)))
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error (for fixed, known-good params).
+func MustTable(n int, q uint64) *Table {
+	t, err := NewTable(n, q)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// brev reverses the low `width` bits of v.
+func brev(v uint, width int) uint {
+	return uint(bits.Reverse64(uint64(v)) >> (64 - uint(width)))
+}
+
+// BitReverse permutes a in place by bit-reversed index. Exposed because the
+// streaming pipeline emits bit-reversed order and the MSE reorders on the
+// way to the scratchpad.
+func BitReverse(a []uint64) {
+	logN := bits.Len(uint(len(a))) - 1
+	for i := range a {
+		j := int(brev(uint(i), logN))
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package primes
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// The ABC-FHE "NTT-friendly" prime family (paper §IV-A, Eq. 8):
+//
+//	Q = 2^bw + k·2^(n+1) + 1,   k = ±2^a ± 2^b ± 2^c
+//
+// with n+1 = logN+1 so that 2N | Q-1 (the negacyclic NTT exists), and k a
+// signed sum of at most three powers of two. Two consequences matter for
+// hardware (Eq. 9–11):
+//
+//  1. Q itself has signed-digit weight ≤ 5 (2^bw, the ≤3 k-terms, and +1),
+//     so the m×Q multiplication inside Montgomery reduction is a
+//     shift-and-add network, and
+//  2. QInv ≡ 1 - 2^bw - k·2^(n+1) (mod 2^w) for any radix 2^w with
+//     w ≤ 2·bw, so the m = T·QInv step is *also* shift-and-add.
+//
+// Only the initial a×b product needs a real multiplier — the basis of the
+// paper's Table I area reduction (67.7% vs. Barrett, 41.2% vs. vanilla
+// Montgomery).
+
+// SignedTerm is one ±2^Exp term of a signed-digit decomposition.
+type SignedTerm struct {
+	Sign int // +1 or -1
+	Exp  uint
+}
+
+func (t SignedTerm) String() string {
+	s := "+"
+	if t.Sign < 0 {
+		s = "-"
+	}
+	return fmt.Sprintf("%s2^%d", s, t.Exp)
+}
+
+// FriendlyPrime is a member of the family with its structural decomposition.
+type FriendlyPrime struct {
+	Q     uint64       // the prime
+	BW    int          // bw in Eq. 8: Q = 2^BW + k·2^(LogN+1) + 1
+	LogN  int          // n = LogN (2^(n+1) = 2N divides Q-1)
+	K     int64        // the k of Eq. 8
+	Terms []SignedTerm // signed power-of-two terms of k·2^(LogN+1)
+}
+
+// Weight returns the total signed-digit weight of Q (shift-add adder count
+// for multiplying by Q): the 2^BW term, the k terms and the trailing +1.
+func (f FriendlyPrime) Weight() int { return 2 + len(f.Terms) }
+
+// TwoAdicity returns v₂(Q-1): the exponent of the largest power of two
+// dividing Q-1 — equivalently the smallest exponent in the decomposition.
+// The negacyclic NTT of degree 2^logN needs TwoAdicity ≥ logN+1.
+func (f FriendlyPrime) TwoAdicity() uint {
+	v := uint(f.BW)
+	for _, t := range f.Terms {
+		if t.Exp < v {
+			v = t.Exp
+		}
+	}
+	return v
+}
+
+// QInvShiftAdd returns QInv mod 2^w as the closed form of Eq. 11:
+// 1 - 2^bw - k·2^(n+1), reduced mod 2^w. The binomial tail of Eq. 10
+// vanishes mod 2^w precisely when (Q-1)² ≡ 0 mod 2^w, i.e. for radices
+// w ≤ 2·v₂(Q-1) — this is the paper's "k ≥ 2^(bw/2-1-n)" feasibility
+// condition expressed on the two-adic valuation.
+func (f FriendlyPrime) QInvShiftAdd(w uint) uint64 {
+	if w > 2*f.TwoAdicity() {
+		panic("primes: Eq. 11 closed form requires w ≤ 2·v₂(Q-1)")
+	}
+	var mask uint64 = ^uint64(0)
+	if w < 64 {
+		mask = (uint64(1) << w) - 1
+	}
+	x := f.Q - 1 // 2^bw + k·2^(n+1)
+	return (1 - x) & mask
+}
+
+// VerifyQInv checks Eq. 9/11: the closed-form QInv actually satisfies
+// Q·QInv ≡ 1 (mod 2^w).
+func (f FriendlyPrime) VerifyQInv(w uint) bool {
+	var mask uint64 = ^uint64(0)
+	if w < 64 {
+		mask = (uint64(1) << w) - 1
+	}
+	return (f.Q*f.QInvShiftAdd(w))&mask == 1
+}
+
+// searchSpec bounds one family enumeration.
+type searchSpec struct {
+	bitLen   int // required bit length of Q
+	logN     int // minimum two-adicity exponent: 2^(logN+1) | Q-1
+	maxTerms int // maximum number of ±2^e terms in k (paper: 3)
+}
+
+// enumerate yields every *prime* member of the family with the exact bit
+// length spec.bitLen, deduplicated (different decompositions of the same
+// value count once; the minimum-weight decomposition is kept).
+func enumerate(spec searchSpec) []FriendlyPrime {
+	found := map[uint64]FriendlyPrime{}
+	minE := uint(spec.logN + 1)
+
+	consider := func(q uint64, terms []SignedTerm, bw int) {
+		if bits.Len64(q) != spec.bitLen {
+			return
+		}
+		if (q-1)%(uint64(1)<<minE) != 0 {
+			return // two-adicity broken (can happen when a term exp < minE sneaks in)
+		}
+		if !IsPrime(q) {
+			return
+		}
+		if old, ok := found[q]; ok && len(old.Terms) <= len(terms) {
+			return
+		}
+		k := int64(0)
+		for _, t := range terms {
+			v := int64(1) << (t.Exp - minE)
+			if t.Sign < 0 {
+				v = -v
+			}
+			k += v
+		}
+		cp := make([]SignedTerm, len(terms))
+		copy(cp, terms)
+		found[q] = FriendlyPrime{Q: q, BW: bw, LogN: spec.logN, K: k, Terms: cp}
+	}
+
+	// The leading power 2^bw: for a bitLen-bit Q, bw is bitLen-1 when the
+	// k-part is non-negative overall, or bitLen when it is negative
+	// (2^bw - something). Enumerate both anchors.
+	for _, bw := range []int{spec.bitLen - 1, spec.bitLen} {
+		if bw >= 63 {
+			continue
+		}
+		base := (uint64(1) << uint(bw)) + 1
+		// k = 0 (weight-3 primes like 2^bw+1) — only prime for Fermat cases.
+		consider(base, nil, bw)
+		maxE := uint(bw) // term exponents strictly below the anchor+1
+		exps := []uint{}
+		for e := minE; e <= maxE; e++ {
+			exps = append(exps, e)
+		}
+		signs := []int{1, -1}
+		// 1-term k.
+		if spec.maxTerms >= 1 {
+			for _, e := range exps {
+				for _, s := range signs {
+					q := addTerm(base, s, e)
+					if q != 0 {
+						consider(q, []SignedTerm{{s, e}}, bw)
+					}
+				}
+			}
+		}
+		// 2-term k.
+		if spec.maxTerms >= 2 {
+			for i, e1 := range exps {
+				for _, s1 := range signs {
+					q1 := addTerm(base, s1, e1)
+					if q1 == 0 {
+						continue
+					}
+					for _, e2 := range exps[i+1:] {
+						for _, s2 := range signs {
+							q := addTerm(q1, s2, e2)
+							if q != 0 {
+								consider(q, []SignedTerm{{s1, e1}, {s2, e2}}, bw)
+							}
+						}
+					}
+				}
+			}
+		}
+		// 3-term k.
+		if spec.maxTerms >= 3 {
+			for i, e1 := range exps {
+				for _, s1 := range signs {
+					q1 := addTerm(base, s1, e1)
+					if q1 == 0 {
+						continue
+					}
+					for j := i + 1; j < len(exps); j++ {
+						e2 := exps[j]
+						for _, s2 := range signs {
+							q2 := addTerm(q1, s2, e2)
+							if q2 == 0 {
+								continue
+							}
+							for _, e3 := range exps[j+1:] {
+								for _, s3 := range signs {
+									q := addTerm(q2, s3, e3)
+									if q != 0 {
+										consider(q, []SignedTerm{{s1, e1}, {s2, e2}, {s3, e3}}, bw)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]FriendlyPrime, 0, len(found))
+	for _, f := range found {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Q < out[j].Q })
+	return out
+}
+
+// addTerm returns v ± 2^e, or 0 on wrap-around below zero / overflow.
+func addTerm(v uint64, sign int, e uint) uint64 {
+	t := uint64(1) << e
+	if sign > 0 {
+		if v > ^uint64(0)-t {
+			return 0
+		}
+		return v + t
+	}
+	if v < t {
+		return 0
+	}
+	return v - t
+}
+
+// Search returns all NTT-friendly primes of exactly bitLen bits supporting
+// degree-2^logN negacyclic NTTs, with k restricted to at most maxTerms
+// signed power-of-two terms (the paper uses 3).
+func Search(bitLen, logN, maxTerms int) []FriendlyPrime {
+	return enumerate(searchSpec{bitLen: bitLen, logN: logN, maxTerms: maxTerms})
+}
+
+// Census counts family members across an inclusive bit-length range.
+// Paper §IV-A: for N = 2^16 the 32–36 bit census yields 443 primes, "more
+// than adequate" for 20–40 encryption levels.
+func Census(minBits, maxBits, logN, maxTerms int) (total int, perBitLen map[int]int) {
+	perBitLen = map[int]int{}
+	for b := minBits; b <= maxBits; b++ {
+		n := len(Search(b, logN, maxTerms))
+		perBitLen[b] = n
+		total += n
+	}
+	return total, perBitLen
+}
+
+// CensusPaper counts the family under the strict reading of Eq. 8 used for
+// the paper's 443-prime figure:
+//
+//   - k < 0, because the Montgomery radix R = 2^bw must satisfy R ≥ Q;
+//   - exactly three signed terms, k = ±2^a ± 2^b ± 2^c taken literally; and
+//   - the Eq. 11 feasibility condition (closed-form QInv valid at radix
+//     2^bw, i.e. v₂(Q-1) ≥ bw/2 — the paper's "k ≥ 2^(bw/2-1-n)").
+//
+// Our enumeration yields 466 for the 32–36 bit, N=2^16 range, vs. the
+// paper's 443 (≈5% apart; the residual difference is an edge convention the
+// paper does not specify — see EXPERIMENTS.md).
+func CensusPaper(minBits, maxBits, logN int) (total int, perBitLen map[int]int) {
+	perBitLen = map[int]int{}
+	for b := minBits; b <= maxBits; b++ {
+		n := 0
+		for _, f := range Search(b, logN, 3) {
+			if len(f.Terms) != 3 || f.K >= 0 {
+				continue
+			}
+			if int(f.TwoAdicity()) < f.BW/2 {
+				continue
+			}
+			n++
+		}
+		perBitLen[b] = n
+		total += n
+	}
+	return total, perBitLen
+}
+
+// NAF returns the non-adjacent form of v: the canonical minimal-weight
+// signed-digit representation. Hardware shift-add cost of multiplying by a
+// constant is proportional to the NAF weight; internal/modmul uses this to
+// price the NTT-friendly Montgomery datapath.
+func NAF(v uint64) []SignedTerm {
+	var out []SignedTerm
+	var e uint
+	for v > 0 {
+		if v&1 == 1 {
+			// digit = 2 - (v mod 4): +1 if v≡1, -1 if v≡3 (mod 4)
+			if v&3 == 3 {
+				out = append(out, SignedTerm{-1, e})
+				v++ // carry
+			} else {
+				out = append(out, SignedTerm{+1, e})
+				v--
+			}
+		}
+		v >>= 1
+		e++
+		if e > 80 {
+			break
+		}
+	}
+	return out
+}
+
+// NAFWeight is the number of nonzero digits in the non-adjacent form.
+func NAFWeight(v uint64) int { return len(NAF(v)) }

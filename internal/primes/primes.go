@@ -1,0 +1,136 @@
+// Package primes provides the prime-number machinery behind ABC-FHE:
+//
+//   - a deterministic Miller–Rabin test for 64-bit integers,
+//   - CKKS NTT prime chains (q ≡ 1 mod 2N so the negacyclic NTT exists), and
+//   - the paper's NTT-friendly prime family Q = 2^bw + k·2^(n+1) + 1 with
+//     k = ±2^a ± 2^b ± 2^c (Eq. 8), for which the Montgomery constant QInv
+//     collapses to a shift-and-add network (Eq. 9–11). Section IV-A of the
+//     paper reports 443 such primes in the 32–36 bit range; see Census.
+package primes
+
+import "math/bits"
+
+// mrBases is a base set for which Miller–Rabin is *deterministic* for all
+// n < 2^64 (Sinclair, 2011).
+var mrBases = [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}
+
+// mulMod64 returns a*b mod m using a 128-bit intermediate.
+func mulMod64(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= m { // keep Div64's precondition hi < m
+		hi %= m
+	}
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+func powMod64(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod64(result, a, m)
+		}
+		a = mulMod64(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// IsPrime reports whether n is prime. The test is deterministic for every
+// 64-bit input (no probabilistic failure window).
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d·2^r.
+	d := n - 1
+	r := uint(0)
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	for _, a := range mrBases {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := powMod64(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := uint(1); i < r; i++ {
+			x = mulMod64(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateNTTPrimes returns `count` distinct primes of the given bit length
+// satisfying q ≡ 1 (mod 2N), scanning downward from 2^bitLen. These are the
+// RNS limb moduli for a degree-N negacyclic ring: the congruence guarantees
+// a primitive 2N-th root of unity exists, which is what both the reference
+// NTT and the hardware's on-the-fly twiddle generator require.
+//
+// It panics if the bit length cannot host `count` such primes (never the
+// case for the parameter sets in this repository).
+func GenerateNTTPrimes(count, bitLen, logN int) []uint64 {
+	if bitLen < logN+2 || bitLen > 61 {
+		panic("primes: unsupported bit length")
+	}
+	step := uint64(1) << uint(logN+1) // 2N
+	out := make([]uint64, 0, count)
+	// Largest candidate ≡ 1 mod 2N strictly below 2^bitLen.
+	top := (uint64(1) << uint(bitLen)) - 1
+	q := top - (top-1)%step // q ≡ 1 mod step
+	lo := uint64(1) << uint(bitLen-1)
+	for ; q > lo; q -= step {
+		if IsPrime(q) {
+			out = append(out, q)
+			if len(out) == count {
+				return out
+			}
+		}
+	}
+	panic("primes: bit range exhausted before finding enough NTT primes")
+}
+
+// GenerateNTTPrimesUp scans upward from 2^(bitLen-1); used when a parameter
+// set wants moduli just *above* a power of two so products stay in lazy
+// ranges. Returned primes still satisfy q ≡ 1 mod 2N.
+func GenerateNTTPrimesUp(count, bitLen, logN int) []uint64 {
+	if bitLen < logN+2 || bitLen > 61 {
+		panic("primes: unsupported bit length")
+	}
+	step := uint64(1) << uint(logN+1)
+	out := make([]uint64, 0, count)
+	q := (uint64(1) << uint(bitLen-1)) + 1
+	for ; q < uint64(1)<<uint(bitLen); q += step {
+		if IsPrime(q) {
+			out = append(out, q)
+			if len(out) == count {
+				return out
+			}
+		}
+	}
+	panic("primes: bit range exhausted before finding enough NTT primes")
+}

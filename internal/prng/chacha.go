@@ -1,0 +1,149 @@
+// Package prng implements the on-chip pseudo-random number generator that
+// ABC-FHE uses to synthesize masks, errors and keys on the fly (paper
+// §III/§IV-B): a ChaCha stream cipher keyed by a 128-bit seed, plus the
+// three samplers client-side CKKS needs — uniform residues, ternary
+// secrets, and discrete-Gaussian errors (σ = 3.2).
+//
+// The paper's point is architectural: holding a 128-bit seed on chip
+// replaces 8.25 MB of precomputed masks/errors in DRAM, and the PRNG
+// keeps up with the streaming datapath. This package is the functional
+// model; internal/sim prices its hardware throughput, internal/hw its area.
+package prng
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// chacha implements the ChaCha block function with the original 128-bit-key
+// parameterization (Bernstein's "expand 16-byte k" constants, the key
+// repeated into both key halves). 20 rounds.
+type chacha struct {
+	state [16]uint32
+	buf   [64]byte
+	used  int // bytes of buf already consumed; 64 → refill needed
+	ctr   uint64
+}
+
+// sigma16 is the "expand 16-byte k" constant of the 128-bit-key ChaCha
+// variant.
+var sigma16 = [4]uint32{0x61707865, 0x3120646e, 0x79622d36, 0x6b206574}
+
+// newChaCha builds a ChaCha stream from a 128-bit seed and a 64-bit stream
+// identifier (ChaCha nonce), so that independent generator instances (one
+// per sampled polynomial, mirroring the paper's per-object seeds) never
+// overlap.
+func newChaCha(seed [16]byte, stream uint64) *chacha {
+	c := &chacha{used: 64}
+	c.state[0], c.state[1], c.state[2], c.state[3] = sigma16[0], sigma16[1], sigma16[2], sigma16[3]
+	k0 := binary.LittleEndian.Uint32(seed[0:4])
+	k1 := binary.LittleEndian.Uint32(seed[4:8])
+	k2 := binary.LittleEndian.Uint32(seed[8:12])
+	k3 := binary.LittleEndian.Uint32(seed[12:16])
+	// 128-bit key occupies both key rows (k, k).
+	c.state[4], c.state[5], c.state[6], c.state[7] = k0, k1, k2, k3
+	c.state[8], c.state[9], c.state[10], c.state[11] = k0, k1, k2, k3
+	// counter in [12,13], stream id in [14,15]
+	c.state[12], c.state[13] = 0, 0
+	c.state[14] = uint32(stream)
+	c.state[15] = uint32(stream >> 32)
+	return c
+}
+
+func quarter(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d ^= a
+	d = bits.RotateLeft32(d, 16)
+	c += d
+	b ^= c
+	b = bits.RotateLeft32(b, 12)
+	a += b
+	d ^= a
+	d = bits.RotateLeft32(d, 8)
+	c += d
+	b ^= c
+	b = bits.RotateLeft32(b, 7)
+	return a, b, c, d
+}
+
+// block produces the next 64-byte keystream block into c.buf.
+func (c *chacha) block() {
+	var x [16]uint32
+	copy(x[:], c.state[:])
+	for i := 0; i < 10; i++ { // 20 rounds = 10 double-rounds
+		// column round
+		x[0], x[4], x[8], x[12] = quarter(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarter(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarter(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarter(x[3], x[7], x[11], x[15])
+		// diagonal round
+		x[0], x[5], x[10], x[15] = quarter(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarter(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarter(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarter(x[3], x[4], x[9], x[14])
+	}
+	for i := range x {
+		x[i] += c.state[i]
+	}
+	for i, v := range x {
+		binary.LittleEndian.PutUint32(c.buf[4*i:], v)
+	}
+	c.used = 0
+	// 64-bit block counter in words 12/13.
+	c.ctr++
+	c.state[12] = uint32(c.ctr)
+	c.state[13] = uint32(c.ctr >> 32)
+}
+
+// Source is a deterministic random stream with a 128-bit seed. It is NOT
+// safe for concurrent use; create one Source per goroutine / per sampled
+// object (cheap: no allocation beyond the struct).
+type Source struct {
+	c *chacha
+}
+
+// NewSource creates a stream from seed and a stream/domain identifier.
+// Equal (seed, stream) pairs yield identical streams — the property the
+// accelerator exploits to regenerate, rather than store, public randomness.
+func NewSource(seed [16]byte, stream uint64) *Source {
+	return &Source{c: newChaCha(seed, stream)}
+}
+
+// SeedFromUint64s is a convenience for tests and examples.
+func SeedFromUint64s(lo, hi uint64) [16]byte {
+	var s [16]byte
+	binary.LittleEndian.PutUint64(s[0:8], lo)
+	binary.LittleEndian.PutUint64(s[8:16], hi)
+	return s
+}
+
+// Uint64 returns the next 64 bits of keystream.
+func (s *Source) Uint64() uint64 {
+	c := s.c
+	if c.used > 64-8 {
+		if c.used < 64 {
+			// Discard the ragged tail so Uint64 always consumes aligned words.
+			c.used = 64
+		}
+		c.block()
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.used:])
+	c.used += 8
+	return v
+}
+
+// Uint32 returns the next 32 bits of keystream.
+func (s *Source) Uint32() uint32 {
+	c := s.c
+	if c.used > 64-4 {
+		c.block()
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.used:])
+	c.used += 4
+	return v
+}
+
+// Float64 returns a uniform float in [0,1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,209 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	seed := SeedFromUint64s(0xDEADBEEF, 0xCAFEBABE)
+	a := NewSource(seed, 7)
+	b := NewSource(seed, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, stream) must yield identical output")
+		}
+	}
+}
+
+func TestStreamSeparation(t *testing.T) {
+	seed := SeedFromUint64s(1, 2)
+	a := NewSource(seed, 0)
+	b := NewSource(seed, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 collide on %d/1000 draws", same)
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a := NewSource(SeedFromUint64s(1, 0), 0)
+	b := NewSource(SeedFromUint64s(2, 0), 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide on %d/1000 draws", same)
+	}
+}
+
+func TestUniformityChiSquared(t *testing.T) {
+	// 256-bucket chi-squared on byte extraction from Uint64.
+	s := NewSource(SeedFromUint64s(42, 43), 0)
+	var hist [256]int
+	const n = 1 << 16
+	for i := 0; i < n/8; i++ {
+		v := s.Uint64()
+		for j := 0; j < 8; j++ {
+			hist[byte(v>>(8*j))]++
+		}
+	}
+	expected := float64(n) / 256
+	chi2 := 0.0
+	for _, h := range hist {
+		d := float64(h) - expected
+		chi2 += d * d / expected
+	}
+	// 255 dof: mean 255, sd ≈ 22.6. Accept within ±6 sd.
+	if chi2 > 255+6*22.6 || chi2 < 255-6*22.6 {
+		t.Fatalf("chi-squared = %.1f outside plausible range", chi2)
+	}
+}
+
+func TestUniformModQ(t *testing.T) {
+	s := NewSource(SeedFromUint64s(5, 6), 0)
+	for _, q := range []uint64{1, 2, 3, 97, 65537, 68718428161} {
+		for i := 0; i < 2000; i++ {
+			v := s.UniformModQ(q)
+			if v >= q {
+				t.Fatalf("UniformModQ(%d) = %d out of range", q, v)
+			}
+		}
+	}
+	// Distribution check on a small modulus.
+	var hist [7]int
+	for i := 0; i < 70000; i++ {
+		hist[s.UniformModQ(7)]++
+	}
+	for r, h := range hist {
+		if h < 9000 || h > 11000 {
+			t.Fatalf("residue %d count %d far from uniform", r, h)
+		}
+	}
+}
+
+func TestTernaryDistribution(t *testing.T) {
+	s := NewSource(SeedFromUint64s(9, 10), 3)
+	counts := map[int64]int{}
+	const n = 90000
+	for i := 0; i < n; i++ {
+		v := s.TernarySample()
+		if v < -1 || v > 1 {
+			t.Fatalf("ternary sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	for _, v := range []int64{-1, 0, 1} {
+		if counts[v] < n/3-1500 || counts[v] > n/3+1500 {
+			t.Fatalf("ternary value %d count %d far from n/3", v, counts[v])
+		}
+	}
+}
+
+func TestTernaryPolyHW(t *testing.T) {
+	s := NewSource(SeedFromUint64s(11, 12), 0)
+	q := uint64(97)
+	out := make([]uint64, 1024)
+	s.TernaryPolyHW(out, 64, q)
+	nonzero := 0
+	for _, v := range out {
+		switch v {
+		case 0:
+		case 1, q - 1:
+			nonzero++
+		default:
+			t.Fatalf("non-ternary coefficient %d", v)
+		}
+	}
+	if nonzero != 64 {
+		t.Fatalf("Hamming weight %d, want 64", nonzero)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := NewSource(SeedFromUint64s(13, 14), 0)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(s.GaussianSample())
+		if math.Abs(v) > GaussianTailCut {
+			t.Fatalf("sample %v beyond tail cut", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Gaussian mean %.4f not ≈ 0", mean)
+	}
+	sigma := math.Sqrt(variance)
+	if sigma < GaussianSigma-0.1 || sigma > GaussianSigma+0.1 {
+		t.Fatalf("Gaussian σ %.3f not ≈ %.1f", sigma, GaussianSigma)
+	}
+}
+
+func TestGaussianPolyRange(t *testing.T) {
+	s := NewSource(SeedFromUint64s(15, 16), 0)
+	q := uint64(68718428161)
+	out := make([]uint64, 4096)
+	s.GaussianPoly(out, q)
+	for _, v := range out {
+		centered := int64(v)
+		if v > q/2 {
+			centered = int64(v) - int64(q)
+		}
+		if centered > GaussianTailCut || centered < -GaussianTailCut {
+			t.Fatalf("coefficient %d outside tail cut", centered)
+		}
+	}
+}
+
+// The keystream must match on word boundaries regardless of read widths
+// (Uint32 vs Uint64 interleaving must never return overlapping bytes).
+func TestNoKeystreamReuse(t *testing.T) {
+	seed := SeedFromUint64s(21, 22)
+	a := NewSource(seed, 0)
+	seen := map[uint32]int{}
+	for i := 0; i < 4096; i++ {
+		seen[a.Uint32()]++
+	}
+	dups := 0
+	for _, c := range seen {
+		if c > 1 {
+			dups += c - 1
+		}
+	}
+	if dups > 2 { // birthday-bound tolerance for 4096 draws from 2^32
+		t.Fatalf("excessive duplicate 32-bit words: %d", dups)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := NewSource(SeedFromUint64s(1, 2), 0)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkUniformModQ36(b *testing.B) {
+	s := NewSource(SeedFromUint64s(1, 2), 0)
+	for i := 0; i < b.N; i++ {
+		s.UniformModQ(68718428161)
+	}
+}
+
+func BenchmarkGaussianSample(b *testing.B) {
+	s := NewSource(SeedFromUint64s(1, 2), 0)
+	for i := 0; i < b.N; i++ {
+		s.GaussianSample()
+	}
+}

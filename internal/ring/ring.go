@@ -1,0 +1,255 @@
+// Package ring implements the RNS polynomial ring R_Q = Z_Q[X]/(X^N+1)
+// that CKKS ciphertexts live in: polynomials stored limb-wise, with
+// per-limb NTT transforms and coefficient-wise arithmetic.
+//
+// This is the data structure streamed through ABC-FHE's reconfigurable
+// streaming cores: one limb is one "Ring #i" pass through a pipelined NTT
+// lane (paper Fig. 2a/3b).
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/ntt"
+	"repro/internal/prng"
+	"repro/internal/rns"
+)
+
+// Ring bundles a degree, an RNS basis, and per-limb NTT tables.
+type Ring struct {
+	N      int
+	LogN   int
+	Basis  *rns.Basis
+	Tables []*ntt.Table // one per limb
+}
+
+// NewRing constructs the ring of degree n (power of two) over the given
+// prime limbs; every prime must satisfy q ≡ 1 mod 2n.
+func NewRing(n int, primes []uint64) (*Ring, error) {
+	basis, err := rns.NewBasis(primes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ring{N: n, Basis: basis}
+	for n>>uint(r.LogN+1) > 0 {
+		r.LogN++
+	}
+	if 1<<uint(r.LogN) != n {
+		return nil, fmt.Errorf("ring: N=%d is not a power of two", n)
+	}
+	for _, q := range primes {
+		t, err := ntt.NewTable(n, q)
+		if err != nil {
+			return nil, err
+		}
+		r.Tables = append(r.Tables, t)
+	}
+	return r, nil
+}
+
+// MustRing panics on error.
+func MustRing(n int, primes []uint64) *Ring {
+	r, err := NewRing(n, primes)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// K returns the number of limbs.
+func (r *Ring) K() int { return r.Basis.K() }
+
+// AtLevel returns a view of the ring restricted to the first `level` limbs.
+// Tables are shared, so the view is cheap.
+func (r *Ring) AtLevel(level int) *Ring {
+	if level < 1 || level > r.K() {
+		panic("ring: level out of range")
+	}
+	return &Ring{
+		N:      r.N,
+		LogN:   r.LogN,
+		Basis:  r.Basis.Sub(level),
+		Tables: r.Tables[:level],
+	}
+}
+
+// Poly is an RNS polynomial: Coeffs[i][j] is coefficient j mod prime i.
+// IsNTT records the current domain.
+type Poly struct {
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// NewPoly allocates a zero polynomial with r.K() limbs.
+func (r *Ring) NewPoly() *Poly {
+	limbs := make([][]uint64, r.K())
+	backing := make([]uint64, r.K()*r.N)
+	for i := range limbs {
+		limbs[i] = backing[i*r.N : (i+1)*r.N : (i+1)*r.N]
+	}
+	return &Poly{Coeffs: limbs}
+}
+
+// CopyPoly returns a deep copy.
+func (r *Ring) CopyPoly(p *Poly) *Poly {
+	out := r.NewPoly()
+	for i := range p.Coeffs {
+		copy(out.Coeffs[i], p.Coeffs[i])
+	}
+	out.IsNTT = p.IsNTT
+	return out
+}
+
+// Level returns the number of limbs of p (which may be fewer than the
+// ring's if p came from a lower level).
+func (p *Poly) Level() int { return len(p.Coeffs) }
+
+// NTT transforms every limb to the evaluation domain in place.
+func (r *Ring) NTT(p *Poly) {
+	if p.IsNTT {
+		panic("ring: NTT on already-transformed poly")
+	}
+	for i := range p.Coeffs {
+		r.Tables[i].Forward(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT transforms back to the coefficient domain in place.
+func (r *Ring) INTT(p *Poly) {
+	if !p.IsNTT {
+		panic("ring: INTT on coefficient-domain poly")
+	}
+	for i := range p.Coeffs {
+		r.Tables[i].Inverse(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+func (r *Ring) checkCompat(a, b *Poly) {
+	if a.Level() != b.Level() {
+		panic("ring: level mismatch")
+	}
+	if a.IsNTT != b.IsNTT {
+		panic("ring: domain mismatch")
+	}
+}
+
+// Add sets out = a + b (limb-wise). out may alias a or b.
+func (r *Ring) Add(a, b, out *Poly) {
+	r.checkCompat(a, b)
+	for i := range a.Coeffs {
+		m := r.Basis.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Add(ai[j], bi[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sub sets out = a - b.
+func (r *Ring) Sub(a, b, out *Poly) {
+	r.checkCompat(a, b)
+	for i := range a.Coeffs {
+		m := r.Basis.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Sub(ai[j], bi[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Neg sets out = -a.
+func (r *Ring) Neg(a, out *Poly) {
+	for i := range a.Coeffs {
+		m := r.Basis.Moduli[i]
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Neg(ai[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffs sets out = a ⊙ b (pointwise). Both operands must be in the NTT
+// domain — pointwise products in the coefficient domain are not ring
+// products, and the panic guards against that misuse.
+func (r *Ring) MulCoeffs(a, b, out *Poly) {
+	r.checkCompat(a, b)
+	if !a.IsNTT {
+		panic("ring: MulCoeffs requires NTT domain")
+	}
+	for i := range a.Coeffs {
+		m := r.Basis.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Mul(ai[j], bi[j])
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulScalar sets out = a · s for a word scalar s.
+func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
+	for i := range a.Coeffs {
+		m := r.Basis.Moduli[i]
+		sc := s % m.Q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Mul(ai[j], sc)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sampling ---------------------------------------------------------------
+
+// UniformPoly fills p with independent uniform residues per limb (a fresh
+// mask "a"; on hardware this streams straight out of the PRNG).
+func (r *Ring) UniformPoly(src *prng.Source, p *Poly) {
+	for i := range p.Coeffs {
+		src.UniformPoly(p.Coeffs[i], r.Basis.Moduli[i].Q)
+	}
+	p.IsNTT = false
+}
+
+// sharedSigned samples one signed value per coefficient and expands it
+// consistently into every limb (the same underlying integer polynomial).
+func (r *Ring) sharedSigned(p *Poly, sample func() int64) {
+	n := r.N
+	for j := 0; j < n; j++ {
+		v := sample()
+		for i := range p.Coeffs {
+			p.Coeffs[i][j] = r.Basis.Moduli[i].FromCentered(v)
+		}
+	}
+	p.IsNTT = false
+}
+
+// TernaryPoly fills p with a shared uniform-ternary polynomial across all
+// limbs (encryption randomness u, secret keys).
+func (r *Ring) TernaryPoly(src *prng.Source, p *Poly) {
+	r.sharedSigned(p, src.TernarySample)
+}
+
+// GaussianPoly fills p with a shared discrete-Gaussian polynomial (errors).
+func (r *Ring) GaussianPoly(src *prng.Source, p *Poly) {
+	r.sharedSigned(p, src.GaussianSample)
+}
+
+// Equal reports deep equality (same domain, same residues).
+func (r *Ring) Equal(a, b *Poly) bool {
+	if a.IsNTT != b.IsNTT || a.Level() != b.Level() {
+		return false
+	}
+	for i := range a.Coeffs {
+		for j := range a.Coeffs[i] {
+			if a.Coeffs[i][j] != b.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

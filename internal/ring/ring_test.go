@@ -1,0 +1,190 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/primes"
+	"repro/internal/prng"
+)
+
+func testRing(t testing.TB) *Ring {
+	t.Helper()
+	return MustRing(256, primes.GenerateNTTPrimes(3, 30, 8))
+}
+
+func src(stream uint64) *prng.Source {
+	return prng.NewSource(prng.SeedFromUint64s(123, 456), stream)
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	r := testRing(t)
+	p := r.NewPoly()
+	r.UniformPoly(src(0), p)
+	orig := r.CopyPoly(p)
+	r.NTT(p)
+	if !p.IsNTT {
+		t.Fatal("domain flag not set")
+	}
+	r.INTT(p)
+	if !r.Equal(p, orig) {
+		t.Fatal("NTT/INTT round trip failed")
+	}
+}
+
+func TestDomainGuards(t *testing.T) {
+	r := testRing(t)
+	p := r.NewPoly()
+	mustPanic(t, func() { r.INTT(p) })
+	r.NTT(p)
+	mustPanic(t, func() { r.NTT(p) })
+	q := r.NewPoly() // coefficient domain
+	mustPanic(t, func() { r.Add(p, q, r.NewPoly()) })
+	mustPanic(t, func() { r.MulCoeffs(q, q, r.NewPoly()) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestAddSubNeg(t *testing.T) {
+	r := testRing(t)
+	a, b := r.NewPoly(), r.NewPoly()
+	r.UniformPoly(src(1), a)
+	r.UniformPoly(src(2), b)
+	sum, diff := r.NewPoly(), r.NewPoly()
+	r.Add(a, b, sum)
+	r.Sub(sum, b, diff)
+	if !r.Equal(diff, a) {
+		t.Fatal("(a+b)-b != a")
+	}
+	neg := r.NewPoly()
+	r.Neg(a, neg)
+	r.Add(a, neg, sum)
+	for i := range sum.Coeffs {
+		for _, v := range sum.Coeffs[i] {
+			if v != 0 {
+				t.Fatal("a + (-a) != 0")
+			}
+		}
+	}
+}
+
+// Ring product distributes over addition: (a+b)·c = a·c + b·c per limb.
+func TestMulDistributes(t *testing.T) {
+	r := testRing(t)
+	a, b, c := r.NewPoly(), r.NewPoly(), r.NewPoly()
+	r.UniformPoly(src(3), a)
+	r.UniformPoly(src(4), b)
+	r.UniformPoly(src(5), c)
+	r.NTT(a)
+	r.NTT(b)
+	r.NTT(c)
+
+	left := r.NewPoly()
+	r.Add(a, b, left)
+	r.MulCoeffs(left, c, left)
+
+	ac, bc := r.NewPoly(), r.NewPoly()
+	r.MulCoeffs(a, c, ac)
+	r.MulCoeffs(b, c, bc)
+	right := r.NewPoly()
+	r.Add(ac, bc, right)
+
+	if !r.Equal(left, right) {
+		t.Fatal("distributivity failed")
+	}
+}
+
+// NTT-domain multiplication must agree with the naive negacyclic product
+// on each limb.
+func TestMulMatchesNaivePerLimb(t *testing.T) {
+	r := MustRing(64, primes.GenerateNTTPrimes(2, 20, 6))
+	a, b := r.NewPoly(), r.NewPoly()
+	r.UniformPoly(src(6), a)
+	r.UniformPoly(src(7), b)
+
+	for i, tbl := range r.Tables {
+		want := tbl.PolyMulNaive(a.Coeffs[i], b.Coeffs[i])
+		got := tbl.PolyMulNTT(a.Coeffs[i], b.Coeffs[i])
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("limb %d: naive vs NTT mismatch at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSharedSampling(t *testing.T) {
+	r := testRing(t)
+	p := r.NewPoly()
+	r.TernaryPoly(src(8), p)
+	// All limbs must represent the same centered integer per coefficient.
+	for j := 0; j < r.N; j++ {
+		v0 := r.Basis.Moduli[0].Centered(p.Coeffs[0][j])
+		if v0 < -1 || v0 > 1 {
+			t.Fatalf("non-ternary value %d", v0)
+		}
+		for i := 1; i < r.K(); i++ {
+			if r.Basis.Moduli[i].Centered(p.Coeffs[i][j]) != v0 {
+				t.Fatalf("limb %d coefficient %d disagrees", i, j)
+			}
+		}
+	}
+
+	g := r.NewPoly()
+	r.GaussianPoly(src(9), g)
+	for j := 0; j < r.N; j++ {
+		v0 := r.Basis.Moduli[0].Centered(g.Coeffs[0][j])
+		if v0 < -prng.GaussianTailCut || v0 > prng.GaussianTailCut {
+			t.Fatalf("gaussian out of tail bound: %d", v0)
+		}
+	}
+}
+
+func TestAtLevel(t *testing.T) {
+	r := testRing(t)
+	v := r.AtLevel(2)
+	if v.K() != 2 || v.N != r.N {
+		t.Fatal("level view shape wrong")
+	}
+	p := v.NewPoly()
+	if p.Level() != 2 {
+		t.Fatal("poly from level view has wrong limb count")
+	}
+	v.UniformPoly(src(10), p)
+	v.NTT(p)
+	v.INTT(p)
+	mustPanic(t, func() { r.AtLevel(0) })
+	mustPanic(t, func() { r.AtLevel(r.K() + 1) })
+}
+
+func TestMulScalar(t *testing.T) {
+	r := testRing(t)
+	a := r.NewPoly()
+	r.UniformPoly(src(11), a)
+	out := r.NewPoly()
+	r.MulScalar(a, 3, out)
+	ref := r.NewPoly()
+	r.Add(a, a, ref)
+	r.Add(ref, a, ref)
+	if !r.Equal(out, ref) {
+		t.Fatal("3·a != a+a+a")
+	}
+}
+
+func BenchmarkRingNTT(b *testing.B) {
+	r := MustRing(4096, primes.GenerateNTTPrimes(4, 36, 12))
+	p := r.NewPoly()
+	r.UniformPoly(src(0), p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NTT(p)
+		r.INTT(p)
+	}
+}

@@ -1,0 +1,137 @@
+// Package rns implements residue-number-system machinery for CKKS: the
+// decomposition of big-integer polynomial coefficients into word-sized
+// limbs (the "Expand RNS" stage of the encode pipeline, paper Fig. 2a) and
+// the Chinese-remainder reconstruction used on decode ("Combine CRT").
+//
+// The paper's configuration uses the double-scale technique [1]: 36-bit
+// primes with the number of limbs doubled (24 limbs standing in for 12
+// ~72-bit levels), keeping the hardware datapath at 44 bits.
+package rns
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/mod"
+)
+
+// Basis is an RNS basis: a list of pairwise-coprime word-sized primes with
+// the constants needed for expansion and CRT reconstruction.
+type Basis struct {
+	Moduli []mod.Modulus
+	Q      *big.Int // product of all moduli
+
+	// CRT reconstruction: qiHat[i] = Q/qi, qiHatInv[i] = (Q/qi)^{-1} mod qi.
+	qiHat    []*big.Int
+	qiHatInv []uint64
+	halfQ    *big.Int // Q/2, for centered lifts
+}
+
+// NewBasis builds a basis from the given primes (all distinct, odd).
+func NewBasis(primes []uint64) (*Basis, error) {
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("rns: empty basis")
+	}
+	seen := map[uint64]bool{}
+	b := &Basis{Q: big.NewInt(1)}
+	for _, q := range primes {
+		if seen[q] {
+			return nil, fmt.Errorf("rns: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		b.Moduli = append(b.Moduli, mod.NewModulus(q))
+		b.Q.Mul(b.Q, new(big.Int).SetUint64(q))
+	}
+	b.qiHat = make([]*big.Int, len(primes))
+	b.qiHatInv = make([]uint64, len(primes))
+	for i, m := range b.Moduli {
+		b.qiHat[i] = new(big.Int).Quo(b.Q, new(big.Int).SetUint64(m.Q))
+		hatMod := new(big.Int).Mod(b.qiHat[i], new(big.Int).SetUint64(m.Q)).Uint64()
+		b.qiHatInv[i] = m.Inv(hatMod)
+	}
+	b.halfQ = new(big.Int).Rsh(b.Q, 1)
+	return b, nil
+}
+
+// MustBasis panics on error.
+func MustBasis(primes []uint64) *Basis {
+	b, err := NewBasis(primes)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// K returns the number of limbs.
+func (b *Basis) K() int { return len(b.Moduli) }
+
+// Primes returns the raw prime values.
+func (b *Basis) Primes() []uint64 {
+	out := make([]uint64, b.K())
+	for i, m := range b.Moduli {
+		out[i] = m.Q
+	}
+	return out
+}
+
+// Sub returns the prefix sub-basis with the first k limbs — how CKKS
+// levels shrink: a level-l ciphertext lives in the first l limbs.
+func (b *Basis) Sub(k int) *Basis {
+	if k < 1 || k > b.K() {
+		panic("rns: sub-basis size out of range")
+	}
+	return MustBasis(b.Primes()[:k])
+}
+
+// ExpandInt64 reduces a signed value into every limb.
+func (b *Basis) ExpandInt64(v int64, out []uint64) {
+	for i, m := range b.Moduli {
+		out[i] = m.FromCentered(v)
+	}
+}
+
+// ExpandBig reduces a signed big integer into every limb (centered
+// semantics: negative values wrap to q - |v| mod q).
+func (b *Basis) ExpandBig(v *big.Int, out []uint64) {
+	var t big.Int
+	for i, m := range b.Moduli {
+		t.Mod(v, t.SetUint64(m.Q))
+		r := t.Uint64()
+		// big.Int.Mod returns non-negative results already, but guard the
+		// semantics explicitly for readability.
+		out[i] = r % m.Q
+	}
+}
+
+// CombineCentered reconstructs the centered representative in
+// (-Q/2, Q/2] of the residue vector limbs (one residue per limb).
+func (b *Basis) CombineCentered(limbs []uint64) *big.Int {
+	if len(limbs) != b.K() {
+		panic("rns: residue count mismatch")
+	}
+	acc := new(big.Int)
+	var term big.Int
+	for i, m := range b.Moduli {
+		// term = qiHat[i] * ((limb * qiHatInv[i]) mod qi)
+		c := m.Mul(limbs[i]%m.Q, b.qiHatInv[i])
+		term.SetUint64(c)
+		term.Mul(&term, b.qiHat[i])
+		acc.Add(acc, &term)
+	}
+	acc.Mod(acc, b.Q)
+	if acc.Cmp(b.halfQ) > 0 {
+		acc.Sub(acc, b.Q)
+	}
+	return acc
+}
+
+// CombineCenteredFloat reconstructs the centered value and converts it to
+// float64 after dividing by scale — the decode hot path (avoids big.Float
+// in the caller).
+func (b *Basis) CombineCenteredFloat(limbs []uint64, scale float64) float64 {
+	v := b.CombineCentered(limbs)
+	f := new(big.Float).SetInt(v)
+	f.Quo(f, big.NewFloat(scale))
+	out, _ := f.Float64()
+	return out
+}

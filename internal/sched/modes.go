@@ -1,0 +1,54 @@
+package sched
+
+import "fmt"
+
+// RSCMode is one of the three operating modes of the two reconfigurable
+// streaming cores (paper §III): both cores on encryption (double encrypt
+// throughput), both on decryption, or one each.
+type RSCMode int
+
+const (
+	ModeDualEncrypt RSCMode = iota
+	ModeDualDecrypt
+	ModeEncryptDecrypt
+)
+
+func (m RSCMode) String() string {
+	switch m {
+	case ModeDualEncrypt:
+		return "2x encrypt"
+	case ModeDualDecrypt:
+		return "2x decrypt"
+	case ModeEncryptDecrypt:
+		return "encrypt + decrypt"
+	}
+	return fmt.Sprintf("RSCMode(%d)", int(m))
+}
+
+// CoresFor returns how many RSCs each direction gets under the mode.
+func (m RSCMode) CoresFor() (enc, dec int) {
+	switch m {
+	case ModeDualEncrypt:
+		return 2, 0
+	case ModeDualDecrypt:
+		return 0, 2
+	default:
+		return 1, 1
+	}
+}
+
+// Task is a schedulable unit for the simulator: one streaming phase with a
+// compute demand and a DRAM demand.
+type Task struct {
+	Name            string
+	ComputeOps      float64 // butterfly/element ops to stream through engines
+	TransformPasses int     // N-point passes through the PNLs
+	DRAMReadB       float64
+	DRAMWriteB      float64
+}
+
+// Workload bundles the tasks of one client operation.
+type Workload struct {
+	Name  string
+	Tasks []Task
+}

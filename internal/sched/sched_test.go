@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// The headline reproduction: Fig. 2b's operation counts.
+func TestFig2bPaperNumbers(t *testing.T) {
+	rows := Fig2(16, 24, 2)
+	enc, dec := rows[0], rows[1]
+
+	// Paper: 27.0 MOPs for 12-level (24-limb) encoding+encryption.
+	if math.Abs(enc.MOPs-27.0) > 0.2 {
+		t.Fatalf("encode+encrypt = %.2f MOPs, paper says 27.0", enc.MOPs)
+	}
+	// Paper: 2.9 MOPs for 1-level (2-limb) decoding+decryption.
+	if math.Abs(dec.MOPs-2.9) > 0.1 {
+		t.Fatalf("decode+decrypt = %.2f MOPs, paper says 2.9", dec.MOPs)
+	}
+	// "nearly ten times greater" (§II-D).
+	ratio := enc.MOPs / dec.MOPs
+	if ratio < 8.5 || ratio > 10.5 {
+		t.Fatalf("enc/dec op imbalance %.1f, paper says ≈10x", ratio)
+	}
+}
+
+func TestOpCountStructure(t *testing.T) {
+	enc := EncodeEncryptOps(16, 24)
+	// 2 transform passes per limb.
+	if enc.TransformPasses != 48 {
+		t.Fatalf("enc transform passes = %d, want 48", enc.TransformPasses)
+	}
+	// NTT dominates: >90% of the paper-comparable ops (Fig. 2b's bars are
+	// almost entirely I/NTT for encryption).
+	if enc.NTTOps/(enc.NTTOps+enc.FFTOps+enc.Others) < 0.90 {
+		t.Fatal("NTT share of encode+encrypt too low")
+	}
+
+	dec := DecodeDecryptOps(16, 2)
+	if dec.TransformPasses != 4 {
+		t.Fatalf("dec transform passes = %d, want 4", dec.TransformPasses)
+	}
+	// Decode has a visibly larger FFT share (fewer limbs to transform).
+	encFFTShare := enc.FFTOps / enc.Total()
+	decFFTShare := dec.FFTOps / dec.Total()
+	if decFFTShare <= encFFTShare {
+		t.Fatal("decode should have a larger FFT share than encode")
+	}
+}
+
+func TestOpsScaleWithLimbs(t *testing.T) {
+	a := EncodeEncryptOps(16, 12)
+	b := EncodeEncryptOps(16, 24)
+	// NTT and element-wise work double; FFT does not change.
+	if math.Abs(b.NTTOps/a.NTTOps-2) > 1e-9 {
+		t.Fatal("NTT ops must scale linearly with limbs")
+	}
+	if a.FFTOps != b.FFTOps {
+		t.Fatal("FFT ops must not depend on limbs")
+	}
+}
+
+func TestRSCModes(t *testing.T) {
+	for _, tc := range []struct {
+		m        RSCMode
+		enc, dec int
+	}{
+		{ModeDualEncrypt, 2, 0},
+		{ModeDualDecrypt, 0, 2},
+		{ModeEncryptDecrypt, 1, 1},
+	} {
+		e, d := tc.m.CoresFor()
+		if e != tc.enc || d != tc.dec {
+			t.Fatalf("%v: cores (%d,%d), want (%d,%d)", tc.m, e, d, tc.enc, tc.dec)
+		}
+		if tc.m.String() == "" {
+			t.Fatal("mode must have a name")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package sfg analyzes signal-flow graphs of pipelined Fourier-like
+// transforms: which butterfly positions of a multi-path delay commutator
+// (MDC) pipeline need multipliers under different radix/scheduling choices.
+// It reproduces the paper's Fig. 4 study:
+//
+//   - Fig. 4a: in an 8-point negacyclic NTT, separate ψ pre-processing
+//     costs 13 twiddle multiplications in the SFG while the merged
+//     radix-2^n schedule needs 12 = (N/2)·log2(N);
+//   - Fig. 4b: across the design space (decimation, stage grouping,
+//     negacyclic handling) the merged radix-2^n configuration minimizes
+//     physical multipliers at P/2·log2(N), with double-digit percentage
+//     savings over radix-2 and radix-2^2 NTT designs once pre/post
+//     processing and N^{-1} scaling banks are accounted.
+//
+// Counting conventions (documented because the paper's are implicit):
+// modular (NTT) rotations always cost a full multiplier — "in the NTT, all
+// multipliers are unified as modular multipliers" (§IV-A) — whereas
+// complex (FFT) rotations come in classes: ±1/±j are free wiring, W8 is a
+// shift-add rotator (0.25), W16 a small CSD rotator (0.5), anything else a
+// generic multiplier (1.0).
+package sfg
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind selects the arithmetic of the transform.
+type Kind int
+
+const (
+	NTT Kind = iota
+	FFT
+)
+
+func (k Kind) String() string {
+	if k == NTT {
+		return "NTT"
+	}
+	return "FFT"
+}
+
+// StageTwiddles returns the multiset of twiddle exponents (of ω_N) used at
+// stage s of a radix-2 DIF transform of size n: exponents j·2^s for
+// j < n/2^(s+1), each appearing 2^s times. Stage 0 is the widest stage.
+func StageTwiddles(n, s int) []int {
+	logN := bits.Len(uint(n)) - 1
+	if s < 0 || s >= logN {
+		panic("sfg: stage out of range")
+	}
+	half := n >> uint(s+1) // butterflies per block
+	blocks := 1 << uint(s)
+	out := make([]int, 0, n/2)
+	for b := 0; b < blocks; b++ {
+		for j := 0; j < half; j++ {
+			out = append(out, j<<uint(s))
+		}
+	}
+	return out
+}
+
+// SpatialMultCount counts non-trivial twiddle multiplications in the fully
+// spatial (P = N) SFG of an N-point negacyclic NTT.
+//
+// merged = false: separate ψ pre-processing (N pre-multipliers, the
+// hardware bank processes every input; ω^0 stage twiddles are trivial and
+// skipped) — the paper's "Pre-processing Radix-2" arrangement.
+// merged = true: the radix-2^n merged schedule where every butterfly
+// carries one ψ-power multiplication: exactly (N/2)·log2(N).
+func SpatialMultCount(n int, merged bool) int {
+	logN := bits.Len(uint(n)) - 1
+	if merged {
+		return n / 2 * logN
+	}
+	count := n // the ψ^i pre-processing bank (hardware processes all N inputs)
+	for s := 0; s < logN; s++ {
+		for _, e := range StageTwiddles(n, s) {
+			if e%n != 0 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// rotationClass classifies a twiddle exponent e (of ω_N) by hardware cost.
+type rotationClass int
+
+const (
+	rotOne rotationClass = iota // ω^0 = 1: bypass
+	rotJ                        // ω^(N/4) multiples: ±1, ±j
+	rotW8                       // ω^(N/8) multiples: W8 rotations
+	rotW16                      // ω^(N/16) multiples
+	rotGeneric
+)
+
+func classify(e, n int) rotationClass {
+	e %= n
+	if e < 0 {
+		e += n
+	}
+	switch {
+	case e == 0:
+		return rotOne
+	case n >= 4 && e%(n/4) == 0:
+		return rotJ
+	case n >= 8 && e%(n/8) == 0:
+		return rotW8
+	case n >= 16 && e%(n/16) == 0:
+		return rotW16
+	default:
+		return rotGeneric
+	}
+}
+
+// cost in generic-multiplier equivalents for a position whose twiddle
+// stream contains the given worst (most expensive) class.
+func classCost(k Kind, c rotationClass) float64 {
+	if c == rotOne {
+		return 0
+	}
+	if k == NTT {
+		// Every non-unit modular rotation is a full modular multiplier.
+		return 1
+	}
+	switch c {
+	case rotJ:
+		return 0
+	case rotW8:
+		return 0.25
+	case rotW16:
+		return 0.5
+	default:
+		return 1
+	}
+}
+
+func worst(a, b rotationClass) rotationClass {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// Design describes one point of the pipelined-architecture design space.
+type Design struct {
+	Kind   Kind
+	LogN   int
+	P      int   // lanes (coefficients per cycle)
+	Groups []int // stage grouping, e.g. [2,2,2,...] = radix-2^2; sums to LogN
+	Merged bool  // negacyclic ψ merged into stage twiddles (NTT only);
+	// valid only for the uniform single-group radix-2^n schedule
+}
+
+// Name renders a compact design label.
+func (d Design) Name() string {
+	if d.Merged {
+		return fmt.Sprintf("%v radix-2^n merged", d.Kind)
+	}
+	uniform := true
+	for _, g := range d.Groups {
+		if g != d.Groups[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("%v radix-2^%d", d.Kind, d.Groups[0])
+	}
+	return fmt.Sprintf("%v mixed%v", d.Kind, d.Groups)
+}
+
+// MultiplierCount returns the physical multiplier count (in generic
+// multiplier equivalents) of the design's MDC pipeline, for a lane
+// processing both the forward and the inverse transform (the client
+// workload needs NTT for encryption and INTT for decryption on the same
+// hardware, paper Fig. 2).
+func (d Design) MultiplierCount() float64 {
+	n := 1 << uint(d.LogN)
+	pos := d.P / 2 // butterfly positions per stage
+
+	if d.Merged {
+		if d.Kind != NTT {
+			panic("sfg: merged scheduling is an NTT (negacyclic) concept")
+		}
+		// Every stage position carries a generic ψ-power multiplier; the
+		// merging technique also folds ψ^{-k} and N^{-1} into the inverse
+		// schedule, so no pre/post/scale banks exist. This is the paper's
+		// P/2·log2(N) theoretical minimum.
+		return float64(pos * d.LogN)
+	}
+
+	total := 0.0
+	// Walk stages, tracking position within the current group.
+	stage := 0
+	for gi, g := range d.Groups {
+		for dIn := 0; dIn < g; dIn++ {
+			lastInGroup := dIn == g-1
+			lastGroup := gi == len(d.Groups)-1
+			var c rotationClass
+			switch {
+			case lastInGroup && lastGroup:
+				// Final stage of a DIF pipeline: all ω^0.
+				c = rotOne
+			case lastInGroup:
+				// Group boundary: generic inter-group twiddles.
+				c = rotGeneric
+			default:
+				// Intra-group rotation at depth dIn: ω_{2^(dIn+2)} class.
+				switch dIn {
+				case 0:
+					c = rotJ
+				case 1:
+					c = rotW8
+				case 2:
+					c = rotW16
+				default:
+					c = rotGeneric
+				}
+			}
+			// Time-multiplexing: a position is built if any scheduled value
+			// is non-trivial; for stage sets above, every non-final stage
+			// streams mixed exponents, so the class stands as computed.
+			total += float64(pos) * classCost(d.Kind, c)
+			stage++
+		}
+	}
+	_ = n
+
+	if d.Kind == NTT {
+		// Separate negacyclic handling: a ψ pre-processing bank (P lanes)
+		// for the forward transform and a ψ^{-1} post-processing bank for
+		// the inverse. The N^{-1} scaling can be folded into the post bank
+		// only when the grouping exposes a uniform final group (radix ≥ 2);
+		// a pure radix-2 chain pays a separate scaling bank.
+		total += float64(d.P) // pre
+		total += float64(d.P) // post
+		allOnes := true
+		for _, g := range d.Groups {
+			if g != 1 {
+				allOnes = false
+				break
+			}
+		}
+		if allOnes {
+			total += float64(d.P) // N^{-1} bank not foldable
+		}
+	}
+	return total
+}
+
+// UniformGroups builds the grouping [k, k, ..., r] covering logN stages.
+func UniformGroups(logN, k int) []int {
+	var gs []int
+	left := logN
+	for left >= k {
+		gs = append(gs, k)
+		left -= k
+	}
+	if left > 0 {
+		gs = append(gs, left)
+	}
+	return gs
+}

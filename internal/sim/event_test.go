@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestPipelineSteadyStateII(t *testing.T) {
+	// Back-to-back transforms must sustain one beat per cycle: the delta
+	// between the completion of consecutive transforms equals N/P.
+	logN, p := 12, 8
+	ps := NewPipelineSim(logN, p, 4)
+	beats := (1 << uint(logN)) / p
+	r := ps.Run(BackToBack(logN, p, 3))
+	endT1 := r.DoneCycle[beats-1]
+	endT2 := r.DoneCycle[2*beats-1]
+	endT3 := r.DoneCycle[3*beats-1]
+	if endT2-endT1 != beats || endT3-endT2 != beats {
+		t.Fatalf("II violated: ends %d %d %d (beats=%d)", endT1, endT2, endT3, beats)
+	}
+}
+
+func TestPipelineFillAmortized(t *testing.T) {
+	logN, p := 12, 8
+	ps := NewPipelineSim(logN, p, 4)
+	one := ps.Run(BackToBack(logN, p, 1)).TotalCycles
+	ten := ps.Run(BackToBack(logN, p, 10)).TotalCycles
+	if ten >= 10*one {
+		t.Fatalf("fill not amortized: 1 → %d, 10 → %d", one, ten)
+	}
+	beats := (1 << uint(logN)) / p
+	if ten != one+9*beats {
+		t.Fatalf("steady state should add exactly N/P per transform: %d vs %d",
+			ten, one+9*beats)
+	}
+}
+
+func TestPipelineOccupancyWithinFIFOs(t *testing.T) {
+	// The occupancy the discrete simulation observes must fit the FIFO
+	// capacities the hardware model pays area for.
+	logN, p := 13, 8
+	ps := NewPipelineSim(logN, p, 4)
+	r := ps.Run(BackToBack(logN, p, 4))
+	for s, occ := range r.MaxOccupancy {
+		if occ > ps.caps[s] {
+			t.Fatalf("stage %d: occupancy %d exceeds capacity %d", s, occ, ps.caps[s])
+		}
+	}
+}
+
+func TestThrottledInputDominates(t *testing.T) {
+	// When beats arrive every 3 cycles (a DRAM-starved stream), total time
+	// approaches 3× the beat count — validating the analytic
+	// max(compute, DRAM) composition.
+	logN, p := 12, 8
+	ps := NewPipelineSim(logN, p, 4)
+	beats := (1 << uint(logN)) / p
+	r := ps.Run(Throttled(logN, p, 3))
+	lower := 3 * (beats - 1)
+	if r.TotalCycles < lower {
+		t.Fatalf("throttled run finished before its input: %d < %d", r.TotalCycles, lower)
+	}
+	if r.TotalCycles > lower+ps.fillBound() {
+		t.Fatalf("throttled run took %d, want ≤ input time + fill %d",
+			r.TotalCycles, lower+ps.fillBound())
+	}
+}
+
+func (ps *PipelineSim) fillBound() int {
+	fill := 0
+	for _, l := range ps.latencies {
+		fill += l + 1
+	}
+	return fill
+}
+
+func TestValidateAnalyticModel(t *testing.T) {
+	for _, cfg := range []struct{ logN, p int }{{10, 4}, {12, 8}, {14, 8}, {16, 8}} {
+		if err := ValidateAnalyticModel(cfg.logN, cfg.p); err != nil {
+			t.Fatalf("logN=%d P=%d: %v", cfg.logN, cfg.p, err)
+		}
+	}
+}
+
+func TestSeededStudy(t *testing.T) {
+	s := PaperConfig().SeededStudy()
+	// The design is DRAM-bound, so halving the write stream must speed it
+	// up by a meaningful factor (< 2 because reads remain).
+	if s.Speedup < 1.2 || s.Speedup > 2.0 {
+		t.Fatalf("seeded speedup %.2f outside (1.2, 2.0)", s.Speedup)
+	}
+	if s.ThroughputSeeded <= s.ThroughputStandard {
+		t.Fatal("seeded throughput must improve")
+	}
+	// Write savings = L·N·5.5 bytes ≈ 8.65 MB at the paper config.
+	if s.WriteSaveMB < 8 || s.WriteSaveMB > 9.5 {
+		t.Fatalf("write savings %.2f MB, want ≈8.65", s.WriteSaveMB)
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+// On-chip memory accounting behind §IV-B's claim: at N = 2^16, 44-bit
+// words and 24 limbs the client would need 16.5 MB of public key,
+// 8.25 MB of masks/errors and 8.25 MB of twiddle factors — replaced by a
+// 128-bit PRNG seed plus ~27 KB of twiddle seeds, a >99.9% reduction.
+
+// MemoryFootprint itemizes the precomputed-data storage (bytes).
+type MemoryFootprint struct {
+	PublicKeyB float64
+	MaskErrorB float64
+	TwiddleB   float64
+	SeedStoreB float64 // OTF seed memory + PRNG seed
+}
+
+// TotalPrecomputedB is the storage the generators eliminate.
+func (m MemoryFootprint) TotalPrecomputedB() float64 {
+	return m.PublicKeyB + m.MaskErrorB + m.TwiddleB
+}
+
+// ReductionFraction is 1 - seeds/precomputed (the >99.9% claim).
+func (m MemoryFootprint) ReductionFraction() float64 {
+	return 1 - m.SeedStoreB/m.TotalPrecomputedB()
+}
+
+// Footprint computes the memory accounting for a configuration.
+func Footprint(c Config) MemoryFootprint {
+	n := float64(c.n())
+	l := float64(c.Limbs)
+	w := c.wordBytes()
+
+	// OTF seed store: forward+inverse ψ-power towers per modulus
+	// (2·(logN+1) words), replicated per PNL so each lane's generator has
+	// single-cycle access, plus the FFT ksi seed pair per stage
+	// (complex128) shared by the fused FFT mode.
+	towers := 2 * float64(c.LogN+1) * w * l * float64(c.PNLs)
+	fftSeeds := 2 * float64(c.LogN) * 16
+	prngSeed := 16.0
+
+	return MemoryFootprint{
+		PublicKeyB: 2 * l * n * w,
+		MaskErrorB: l * n * w,
+		TwiddleB:   l * n * w,
+		SeedStoreB: towers + fftSeeds + prngSeed,
+	}
+}

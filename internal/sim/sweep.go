@@ -1,0 +1,65 @@
+package sim
+
+// Parameter sweeps for Fig. 5b (lane count) and Fig. 6b (memory modes ×
+// polynomial degree).
+
+// LanePoint is one x-position of Fig. 5b.
+type LanePoint struct {
+	Lanes        int
+	EncTimeMS    float64
+	ThroughputCt float64
+	DRAMBound    bool
+}
+
+// LaneSweep evaluates encode+encrypt latency and throughput across PNL
+// lane counts. The paper observes the LPDDR5 ceiling capping gains at 8
+// lanes — the configuration ABC-FHE ships.
+func LaneSweep(base Config, lanes []int) []LanePoint {
+	out := make([]LanePoint, 0, len(lanes))
+	for _, p := range lanes {
+		c := base
+		c.P = p
+		r := c.EncodeEncrypt(1)
+		out = append(out, LanePoint{
+			Lanes:        p,
+			EncTimeMS:    r.TimeMS,
+			ThroughputCt: c.ThroughputCtPerSec(),
+			DRAMBound:    r.DRAMCycles >= r.ComputeCycles,
+		})
+	}
+	return out
+}
+
+// MemSweepPoint is one bar group of Fig. 6b.
+type MemSweepPoint struct {
+	LogN       int
+	BaseMS     float64
+	TFGenMS    float64
+	AllMS      float64
+	SpeedupAll float64 // Base / All — the paper's 8.2–9.3×
+}
+
+// MemorySweep evaluates the three memory configurations across polynomial
+// degrees (Fig. 6b sweeps 2^13..2^16; limbs follow the paper's full-depth
+// encryption at every degree).
+func MemorySweep(base Config, logNs []int) []MemSweepPoint {
+	out := make([]MemSweepPoint, 0, len(logNs))
+	for _, logN := range logNs {
+		c := base
+		c.LogN = logN
+		c.Mem = MemBase
+		b := c.EncodeEncrypt(1)
+		c.Mem = MemTFGen
+		tf := c.EncodeEncrypt(1)
+		c.Mem = MemAll
+		all := c.EncodeEncrypt(1)
+		out = append(out, MemSweepPoint{
+			LogN:       logN,
+			BaseMS:     b.TimeMS,
+			TFGenMS:    tf.TimeMS,
+			AllMS:      all.TimeMS,
+			SpeedupAll: b.TimeMS / all.TimeMS,
+		})
+	}
+	return out
+}
