@@ -17,6 +17,7 @@ package abcfhe
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/ckks"
@@ -63,6 +64,10 @@ func (p Preset) spec() (ckks.ParamSpec, error) {
 
 // Client bundles keys and engines for the client-side CKKS workflow the
 // accelerator targets: Encode+Encrypt outbound, Decrypt+Decode inbound.
+//
+// All client operations are safe for concurrent use, and the limb-wise
+// kernels underneath fan out across a lane engine — the software
+// counterpart of the paper's PNL lanes (configure it with WithWorkers).
 type Client struct {
 	params    *ckks.Parameters
 	encoder   *ckks.Encoder
@@ -72,7 +77,24 @@ type Client struct {
 	secret    *ckks.SecretKey
 	public    *ckks.PublicKey
 	seeded    *ckks.SeededEncryptor
+	seedOnce  sync.Once
 	seedCopy  [16]byte
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	workers int
+}
+
+// WithWorkers sizes the client's lane engine to n parallel workers — the
+// software mirror of the paper's per-PNL lane count that Fig. 5b sweeps
+// in hardware. n <= 0 (and the default) selects GOMAXPROCS; n = 1 forces
+// the fully serial path. Any worker count produces bit-identical
+// ciphertexts for the same seed.
+func WithWorkers(n int) ClientOption {
+	return func(c *clientConfig) { c.workers = n }
 }
 
 // Ciphertext is an encrypted message (RLWE pair in the coefficient
@@ -84,8 +106,9 @@ type Plaintext = ckks.Plaintext
 
 // NewClient builds a client for the preset with a 128-bit seed (all key
 // material and encryption randomness derive deterministically from it —
-// the property the accelerator's on-chip PRNG exploits).
-func NewClient(preset Preset, seedLo, seedHi uint64) (*Client, error) {
+// the property the accelerator's on-chip PRNG exploits). Options tune the
+// execution engine; the cryptographic output never depends on them.
+func NewClient(preset Preset, seedLo, seedHi uint64, opts ...ClientOption) (*Client, error) {
 	spec, err := preset.spec()
 	if err != nil {
 		return nil, err
@@ -93,6 +116,13 @@ func NewClient(preset Preset, seedLo, seedHi uint64) (*Client, error) {
 	params, err := spec.Build()
 	if err != nil {
 		return nil, err
+	}
+	var cfg clientConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers != 0 {
+		params.SetWorkers(cfg.workers)
 	}
 	seed := prng.SeedFromUint64s(seedLo, seedHi)
 	kg := ckks.NewKeyGenerator(params, seed)
@@ -115,16 +145,55 @@ func (c *Client) Slots() int { return c.params.Slots() }
 // MaxLevel returns the RNS depth fresh ciphertexts carry.
 func (c *Client) MaxLevel() int { return c.params.MaxLevel() }
 
+// Workers reports the lane count client kernels fan out across.
+func (c *Client) Workers() int { return c.params.Workers() }
+
+// Close releases the client's private lane engine, if WithWorkers
+// installed one. The client must be idle; using it afterwards falls back
+// to the shared default engine.
+func (c *Client) Close() { c.params.Close() }
+
 // EncodeEncrypt runs the outbound client pipeline: IFFT encoding, RNS
-// expansion, and public-key encryption at full depth.
+// expansion, and public-key encryption at full depth. The intermediate
+// plaintext's storage is recycled, so the steady-state pipeline allocates
+// only the returned ciphertext.
 func (c *Client) EncodeEncrypt(msg []complex128) *Ciphertext {
-	return c.encryptor.Encrypt(c.encoder.Encode(msg))
+	pt := c.encoder.Encode(msg)
+	ct := c.encryptor.Encrypt(pt)
+	c.params.PutPlaintext(pt)
+	return ct
 }
 
 // DecryptDecode runs the inbound pipeline: decryption at the ciphertext's
 // level, CRT combination and FFT decoding.
 func (c *Client) DecryptDecode(ct *Ciphertext) []complex128 {
-	return c.encoder.Decode(c.decryptor.Decrypt(ct))
+	pt := c.decryptor.Decrypt(ct)
+	msg := c.encoder.Decode(pt)
+	c.params.PutPlaintext(pt)
+	return msg
+}
+
+// EncodeEncryptBatch runs the outbound pipeline over a whole batch,
+// fanning the messages out across the lane engine (each message then
+// fans its own limb work out onto idle lanes). Encode and encrypt are
+// fused per message, so only in-flight messages hold scratch. PRNG
+// stream windows are reserved by batch index, so the result is
+// bit-identical to calling EncodeEncrypt on each message in order — at
+// any worker count.
+func (c *Client) EncodeEncryptBatch(msgs [][]complex128) []*Ciphertext {
+	return c.encryptor.EncryptBatchFrom(len(msgs), func(i int) *Plaintext {
+		return c.encoder.Encode(msgs[i])
+	})
+}
+
+// DecryptDecodeBatch runs the inbound pipeline over a whole batch in
+// parallel (the decryptor is stateless, so messages are independent).
+func (c *Client) DecryptDecodeBatch(cts []*Ciphertext) [][]complex128 {
+	out := make([][]complex128, len(cts))
+	c.params.Ring().Engine().Run(len(cts), func(i int) {
+		out[i] = c.DecryptDecode(cts[i])
+	})
+	return out
 }
 
 // Encode encodes without encrypting (plaintext-side tooling).
@@ -212,10 +281,12 @@ func (c *Client) DeserializeCiphertext(data []byte) (*Ciphertext, error) {
 // half the bytes of a full ciphertext. The key owner's secret key is used
 // (seeded encryption is the fresh-upload form).
 func (c *Client) EncodeEncryptCompressed(msg []complex128) ([]byte, error) {
-	if c.seeded == nil {
+	c.seedOnce.Do(func() {
 		c.seeded = ckks.NewSeededEncryptor(c.params, c.secret, c.seedCopy)
-	}
-	sct := c.seeded.Encrypt(c.encoder.Encode(msg))
+	})
+	pt := c.encoder.Encode(msg)
+	sct := c.seeded.Encrypt(pt)
+	c.params.PutPlaintext(pt)
 	return c.params.MarshalSeeded(sct)
 }
 

@@ -11,6 +11,8 @@ package abcfhe
 // the paper-scale versions.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -105,6 +107,46 @@ func BenchmarkAcceleratorModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.EncodeEncrypt(1)
 		cfg.DecodeDecrypt(1)
+	}
+}
+
+// Lane scaling: PN15 EncodeEncrypt with the serial path vs the full
+// GOMAXPROCS worker pool — the software version of the paper's Fig. 5b
+// lane sweep. On a host with ≥4 cores the pooled run is expected to be
+// ≥2x faster; on a single-core host both sub-benchmarks coincide.
+func BenchmarkPN15EncodeEncryptLanes(b *testing.B) {
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c, err := NewClient(PN15, 7, 8, WithWorkers(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			msg := make([]complex128, c.Slots())
+			src := prng.NewSource(prng.SeedFromUint64s(1, 2), 0)
+			for i := range msg {
+				msg[i] = complex(src.Float64()-0.5, src.Float64()-0.5)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.EncodeEncrypt(msg)
+			}
+		})
+	}
+}
+
+// Batch pipeline: amortizes per-message overheads on top of limb-level
+// parallelism (message-level fan-out keeps lanes busy between ops).
+func BenchmarkClientEncodeEncryptBatch8(b *testing.B) {
+	c, msg := benchClient(b)
+	msgs := make([][]complex128, 8)
+	for i := range msgs {
+		msgs[i] = msg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeEncryptBatch(msgs)
 	}
 }
 

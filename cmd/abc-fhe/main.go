@@ -24,9 +24,11 @@ import (
 func main() {
 	preset := flag.String("preset", "Test", "parameter preset: Test, PN13..PN16")
 	slots := flag.Int("slots", 0, "message slots to fill (0 = all)")
+	workers := flag.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	client, err := abcfhe.NewClient(abcfhe.Preset(*preset), 0x0123456789ABCDEF, 0xFEDCBA9876543210)
+	client, err := abcfhe.NewClient(abcfhe.Preset(*preset), 0x0123456789ABCDEF, 0xFEDCBA9876543210,
+		abcfhe.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abc-fhe:", err)
 		os.Exit(1)

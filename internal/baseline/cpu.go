@@ -13,11 +13,27 @@ import (
 // so the comparison never rests on anchors alone).
 //
 // The returned latencies are per-operation wall-clock milliseconds for
-// encode+encrypt at full depth and decrypt+decode at decLimbs.
+// encode+encrypt at full depth and decrypt+decode at decLimbs. The client
+// is pinned to one software lane so the baseline stays the *serial* CPU
+// reference the accelerator comparisons (fig5a) are anchored against,
+// independent of the host's core count; MeasureCPULanes exposes the
+// worker axis for the swlanes sweep.
 func MeasureCPU(spec ckks.ParamSpec, decLimbs, iters int) (encMS, decMS float64, err error) {
+	return MeasureCPULanes(spec, decLimbs, iters, 1)
+}
+
+// MeasureCPULanes is MeasureCPU with an explicit software-lane (worker)
+// count — the knob the swlanes experiment sweeps, mirroring the paper's
+// Fig. 5b hardware lane sweep. workers <= 0 keeps the default engine
+// (GOMAXPROCS lanes); 1 is the fully serial reference.
+func MeasureCPULanes(spec ckks.ParamSpec, decLimbs, iters, workers int) (encMS, decMS float64, err error) {
 	params, err := spec.Build()
 	if err != nil {
 		return 0, 0, err
+	}
+	if workers > 0 {
+		params.SetWorkers(workers)
+		defer params.Close()
 	}
 	seed := prng.SeedFromUint64s(0xABC0FE, 0xBC0FE)
 	kg := ckks.NewKeyGenerator(params, seed)
@@ -42,13 +58,13 @@ func MeasureCPU(spec ckks.ParamSpec, decLimbs, iters int) (encMS, decMS float64,
 	for i := 0; i < iters; i++ {
 		ct = encryptor.Encrypt(enc.Encode(msg))
 	}
-	encMS = float64(time.Since(start).Milliseconds()) / float64(iters)
+	encMS = float64(time.Since(start)) / float64(time.Millisecond) / float64(iters)
 
 	low := ev.DropLevel(ct, decLimbs)
 	start = time.Now()
 	for i := 0; i < iters; i++ {
 		_ = enc.Decode(dec.Decrypt(low))
 	}
-	decMS = float64(time.Since(start).Milliseconds()) / float64(iters)
+	decMS = float64(time.Since(start)) / float64(time.Millisecond) / float64(iters)
 	return encMS, decMS, nil
 }

@@ -15,6 +15,18 @@ type Plaintext struct {
 	Scale float64
 }
 
+// PutPlaintext recycles pt's backing polynomial into the scratch pool.
+// Only call when pt was produced by this library (Encode/Decrypt) and no
+// reference to it survives — the fused pipelines (Client.EncodeEncrypt
+// and friends) use it to run allocation-free in steady state.
+func (p *Parameters) PutPlaintext(pt *Plaintext) {
+	if pt == nil {
+		return
+	}
+	p.Ring().PutPoly(pt.Value) // PutPoly keys off the poly's own shape
+	pt.Value = nil
+}
+
 // Encoder maps complex message vectors to plaintext polynomials and back:
 // IFFT + Expand RNS one way, Combine CRT + FFT the other. The floating
 // transforms run in the parameter set's mantissa context, so building
@@ -107,11 +119,16 @@ func (enc *Encoder) EncodeAtLevel(msg []complex128, level int) *Plaintext {
 	}
 	coeffs := e.EncodeToCoeffs(vals, p.FFTCtx())
 
+	// Expand RNS: each coefficient's limb expansion is pure word
+	// arithmetic over read-only tables, so it fans out across the lanes
+	// in contiguous coefficient chunks (the MSE's parallel expand stage).
 	rl := p.RingAt(level)
-	pt := rl.NewPoly()
-	for j, v := range coeffs {
-		enc.encodeCoeff(v, j, pt.Coeffs)
-	}
+	pt := rl.GetPolyUninit() // every limb of every coefficient is written below
+	rl.Engine().RunChunks(len(coeffs), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			enc.encodeCoeff(coeffs[j], j, pt.Coeffs)
+		}
+	})
 	return &Plaintext{Value: pt, Level: level, Scale: p.Scale()}
 }
 
@@ -127,18 +144,26 @@ func (enc *Encoder) Decode(pt *Plaintext) []complex128 {
 	p := enc.params
 	rl := p.RingAt(pt.Level)
 	val := pt.Value
+	var scratch *ring.Poly
 	if val.IsNTT {
-		val = rl.CopyPoly(val)
-		rl.INTT(val)
+		scratch = rl.GetPolyCopy(val)
+		rl.INTT(scratch)
+		val = scratch
 	}
+	// Combine CRT: per-coefficient centered lifts are independent, so the
+	// combine stage runs chunked across the lanes (each chunk carries its
+	// own limb scratch).
 	coeffs := make([]float64, p.N())
-	limbs := make([]uint64, pt.Level)
-	for j := 0; j < p.N(); j++ {
-		for i := 0; i < pt.Level; i++ {
-			limbs[i] = val.Coeffs[i][j]
+	rl.Engine().RunChunks(p.N(), func(lo, hi int) {
+		limbs := make([]uint64, pt.Level)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < pt.Level; i++ {
+				limbs[i] = val.Coeffs[i][j]
+			}
+			coeffs[j] = rl.Basis.CombineCenteredFloat(limbs, pt.Scale)
 		}
-		coeffs[j] = rl.Basis.CombineCenteredFloat(limbs, pt.Scale)
-	}
+	})
+	rl.PutPoly(scratch)
 	slots := p.Embedder().DecodeFromCoeffs(coeffs, p.FFTCtx())
 	out := make([]complex128, p.Slots())
 	for i, v := range slots {

@@ -1,6 +1,8 @@
 package ckks
 
 import (
+	"sync/atomic"
+
 	"repro/internal/fftfp"
 	"repro/internal/prng"
 	"repro/internal/ring"
@@ -33,12 +35,14 @@ func (p *Parameters) CopyCiphertext(ct *Ciphertext) *Ciphertext {
 
 // Encryptor performs public-key RLWE encryption. Encryption randomness is
 // drawn from a seeded PRNG with a per-call stream counter, mirroring the
-// accelerator's on-chip generation of masks and errors.
+// accelerator's on-chip generation of masks and errors. The counter is
+// atomic, so one Encryptor can serve many goroutines; each call owns a
+// disjoint stream window.
 type Encryptor struct {
 	params *Parameters
 	pk     *PublicKey
 	seed   [16]byte
-	calls  uint64
+	calls  atomic.Uint64
 }
 
 // NewEncryptor builds an encryptor around pk using seed for randomness.
@@ -56,13 +60,36 @@ func NewEncryptor(params *Parameters, pk *PublicKey, seed [16]byte) *Encryptor {
 // 3L transforms/L-limb encryption that internal/sched's operation model
 // charges.
 func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	return enc.encryptCall(pt, enc.calls.Add(1))
+}
+
+// EncryptBatchFrom encrypts the n plaintexts produced by gen (called
+// concurrently, once per index), fanning whole messages out across the
+// lane engine and recycling each plaintext as soon as it is consumed —
+// so only in-flight messages hold pooled memory. Stream windows are
+// reserved up front and assigned by index, so the output is bit-identical
+// to encrypting the batch serially — at any worker count.
+func (enc *Encryptor) EncryptBatchFrom(n int, gen func(i int) *Plaintext) []*Ciphertext {
+	base := enc.calls.Add(uint64(n)) - uint64(n)
+	out := make([]*Ciphertext, n)
+	enc.params.Ring().Engine().Run(n, func(i int) {
+		pt := gen(i)
+		out[i] = enc.encryptCall(pt, base+uint64(i)+1)
+		enc.params.PutPlaintext(pt)
+	})
+	return out
+}
+
+// encryptCall is Encrypt with an explicit call number (the PRNG stream
+// window owner). Scratch comes from the (N, limbs) pool; only the
+// returned pair is freshly owned by the caller.
+func (enc *Encryptor) encryptCall(pt *Plaintext, call uint64) *Ciphertext {
 	p := enc.params
 	level := pt.Level
 	rl := p.RingAt(level)
-	enc.calls++
-	base := streamEncMask + 16*enc.calls
+	base := streamEncMask + 16*call
 
-	u := rl.NewPoly()
+	u := rl.GetPolyUninit() // sampler fully overwrites
 	rl.TernaryPoly(prng.NewSource(enc.seed, base), u)
 	rl.NTT(u)
 
@@ -70,19 +97,22 @@ func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
 	pk0 := &ring.Poly{Coeffs: enc.pk.P0.Coeffs[:level], IsNTT: true}
 	pk1 := &ring.Poly{Coeffs: enc.pk.P1.Coeffs[:level], IsNTT: true}
 
-	c0 := rl.NewPoly()
-	c1 := rl.NewPoly()
+	c0 := rl.GetPolyUninit() // MulCoeffs fully overwrites
+	c1 := rl.GetPolyUninit()
 	rl.MulCoeffs(pk0, u, c0)
 	rl.MulCoeffs(pk1, u, c1)
 	rl.INTT(c0)
 	rl.INTT(c1)
+	rl.PutPoly(u)
 
-	e0 := rl.NewPoly()
-	e1 := rl.NewPoly()
+	e0 := rl.GetPolyUninit() // sampler fully overwrites
+	e1 := rl.GetPolyUninit()
 	rl.GaussianPoly(prng.NewSource(enc.seed, base+1), e0)
 	rl.GaussianPoly(prng.NewSource(enc.seed, base+2), e1)
 	rl.Add(c0, e0, c0)
 	rl.Add(c1, e1, c1)
+	rl.PutPoly(e0)
+	rl.PutPoly(e1)
 
 	if pt.Value.IsNTT {
 		panic("ckks: plaintext must be in coefficient domain")
@@ -92,7 +122,8 @@ func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
 	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: pt.Scale}
 }
 
-// Decryptor recovers plaintexts with the secret key.
+// Decryptor recovers plaintexts with the secret key. It holds no mutable
+// state, so it is safe for concurrent use.
 type Decryptor struct {
 	params *Parameters
 	sk     *SecretKey
@@ -110,14 +141,15 @@ func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
 	p := dec.params
 	rl := p.RingAt(ct.Level)
 
-	c1 := rl.CopyPoly(ct.C1)
+	c1 := rl.GetPolyCopy(ct.C1)
 	rl.NTT(c1)
 	sk := &ring.Poly{Coeffs: dec.sk.S.Coeffs[:ct.Level], IsNTT: true}
 	rl.MulCoeffs(c1, sk, c1)
 	rl.INTT(c1)
 
-	out := rl.NewPoly()
+	out := rl.GetPolyUninit() // Add fully overwrites
 	rl.Add(ct.C0, c1, out)
+	rl.PutPoly(c1)
 
 	return &Plaintext{Value: out, Level: ct.Level, Scale: ct.Scale}
 }

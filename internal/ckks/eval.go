@@ -83,7 +83,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 		panic("ckks: level mismatch")
 	}
 	rl := ev.ringAt(ct.Level)
-	ptN := rl.CopyPoly(pt.Value)
+	ptN := rl.GetPolyCopy(pt.Value)
 	rl.NTT(ptN)
 
 	c0 := rl.CopyPoly(ct.C0)
@@ -94,6 +94,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	rl.MulCoeffs(c1, ptN, c1)
 	rl.INTT(c0)
 	rl.INTT(c1)
+	rl.PutPoly(ptN)
 	return &Ciphertext{C0: c0, C1: c1, Level: ct.Level, Scale: ct.Scale * pt.Scale}
 }
 
@@ -105,14 +106,14 @@ func (ev *Evaluator) rescalePoly(p *ring.Poly, level int) *ring.Poly {
 	last := level - 1
 	ql := r.Basis.Moduli[last].Q
 	out := ev.ringAt(last).NewPoly()
-	for i := 0; i < last; i++ {
+	r.Engine().Run(last, func(i int) {
 		m := r.Basis.Moduli[i]
 		qlInv := m.Inv(ql % m.Q)
 		pi, pl, oi := p.Coeffs[i], p.Coeffs[last], out.Coeffs[i]
 		for j := range pi {
 			oi[j] = m.Mul(m.Sub(pi[j], pl[j]%m.Q), qlInv)
 		}
-	}
+	})
 	return out
 }
 

@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"repro/internal/lanes"
 	"repro/internal/prng"
 	"repro/internal/ring"
 )
@@ -46,8 +47,10 @@ func (kg *KeyGenerator) GenSecretKey() *SecretKey {
 	src := prng.NewSource(kg.seed, streamSecret)
 	s := r.NewPoly()
 	if kg.params.HW > 0 {
-		// Sample the signed polynomial once, expand to all limbs.
-		tmp := make([]uint64, r.N)
+		// Sample the signed polynomial once (serial: the PRNG stream order
+		// is part of the determinism contract), decode the mod-3 residues
+		// to centered bits, and expand limb-wise through the shared stage.
+		tmp := lanes.GetSlab(r.N)
 		src.TernaryPolyHW(tmp, kg.params.HW, 3) // residues mod 3: {0,1,2}
 		for j, v := range tmp {
 			var c int64
@@ -57,10 +60,10 @@ func (kg *KeyGenerator) GenSecretKey() *SecretKey {
 			case 2:
 				c = -1
 			}
-			for i := range s.Coeffs {
-				s.Coeffs[i][j] = r.Basis.Moduli[i].FromCentered(c)
-			}
+			tmp[j] = uint64(c)
 		}
+		r.ExpandSignedBits(tmp, s)
+		lanes.PutSlab(tmp)
 	} else {
 		r.TernaryPoly(src, s)
 	}
@@ -81,7 +84,7 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 	r.UniformPoly(maskSrc, a)
 	a.IsNTT = true // uniform randomness interpreted directly in NTT domain
 
-	e := r.NewPoly()
+	e := r.GetPolyUninit() // sampler fully overwrites
 	r.GaussianPoly(errSrc, e)
 	r.NTT(e)
 
@@ -89,6 +92,7 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 	r.MulCoeffs(a, sk.S, p0) // a·s
 	r.Neg(p0, p0)            // -a·s
 	r.Add(p0, e, p0)         // -a·s + e
+	r.PutPoly(e)
 	return &PublicKey{P0: p0, P1: a}
 }
 

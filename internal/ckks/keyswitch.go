@@ -92,20 +92,22 @@ func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, f *ring.Poly, streamBase 
 	return ksk
 }
 
-// decomposeDigit extracts digit t of c's limb i (coefficient domain),
-// expanded across the first `level` limbs as a small non-negative poly.
-func decomposeDigit(rl *ring.Ring, c *ring.Poly, i, t int) *ring.Poly {
-	out := rl.NewPoly()
+// decomposeDigitInto extracts digit t of c's limb i (coefficient domain),
+// expanded across all of out's limbs as a small non-negative poly. out is
+// fully overwritten (so a pooled poly can be reused across digits); the
+// per-limb expansion fans out across the lanes.
+func decomposeDigitInto(rl *ring.Ring, c *ring.Poly, i, t int, out *ring.Poly) {
 	shift := uint(DecompLogBase * t)
 	mask := uint64(1)<<DecompLogBase - 1
 	src := c.Coeffs[i]
-	for j, v := range src {
-		d := (v >> shift) & mask
-		for k := range out.Coeffs {
-			out.Coeffs[k][j] = d % rl.Basis.Moduli[k].Q
+	rl.Engine().Run(out.Level(), func(k int) {
+		q := rl.Basis.Moduli[k].Q
+		ok := out.Coeffs[k]
+		for j, v := range src {
+			ok[j] = ((v >> shift) & mask) % q
 		}
-	}
-	return out
+	})
+	out.IsNTT = false
 }
 
 // applySwitch computes the key-switch of polynomial c (coefficient
@@ -113,15 +115,16 @@ func decomposeDigit(rl *ring.Ring, c *ring.Poly, i, t int) *ring.Poly {
 // d0 + d1·s ≈ c·f.
 func (p *Parameters) applySwitch(c *ring.Poly, level int, ksk *SwitchingKey) (d0, d1 *ring.Poly) {
 	rl := p.RingAt(level)
-	d0 = rl.NewPoly()
-	d1 = rl.NewPoly()
+	d0 = rl.GetPoly()
+	d1 = rl.GetPoly()
 	d0.IsNTT = true
 	d1.IsNTT = true
 
-	tmp := rl.NewPoly()
+	tmp := rl.GetPolyUninit() // MulCoeffs fully overwrites
+	dig := rl.GetPolyUninit() // decomposeDigitInto fully overwrites
 	for i := 0; i < level; i++ {
 		for t := 0; t < ksk.Digits; t++ {
-			dig := decomposeDigit(rl, c, i, t)
+			decomposeDigitInto(rl, c, i, t, dig)
 			rl.NTT(dig)
 			k0 := &ring.Poly{Coeffs: ksk.K0[i][t].Coeffs[:level], IsNTT: true}
 			k1 := &ring.Poly{Coeffs: ksk.K1[i][t].Coeffs[:level], IsNTT: true}
@@ -131,6 +134,8 @@ func (p *Parameters) applySwitch(c *ring.Poly, level int, ksk *SwitchingKey) (d0
 			rl.Add(d1, tmp, d1)
 		}
 	}
+	rl.PutPoly(tmp)
+	rl.PutPoly(dig)
 	return d0, d1
 }
 
@@ -158,10 +163,10 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Cipher
 	level := a.Level
 	rl := ev.ringAt(level)
 
-	a0 := rl.CopyPoly(a.C0)
-	a1 := rl.CopyPoly(a.C1)
-	b0 := rl.CopyPoly(b.C0)
-	b1 := rl.CopyPoly(b.C1)
+	a0 := rl.GetPolyCopy(a.C0)
+	a1 := rl.GetPolyCopy(a.C1)
+	b0 := rl.GetPolyCopy(b.C0)
+	b1 := rl.GetPolyCopy(b.C1)
 	rl.NTT(a0)
 	rl.NTT(a1)
 	rl.NTT(b0)
@@ -169,19 +174,27 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Cipher
 
 	c0 := rl.NewPoly()
 	c1 := rl.NewPoly()
-	c2 := rl.NewPoly()
+	c2 := rl.GetPoly()
 	rl.MulCoeffs(a0, b0, c0) // a0·b0
 	rl.MulCoeffs(a0, b1, c1) // a0·b1 + a1·b0
-	tmp := rl.NewPoly()
+	tmp := rl.GetPoly()
 	rl.MulCoeffs(a1, b0, tmp)
 	rl.Add(c1, tmp, c1)
 	rl.MulCoeffs(a1, b1, c2) // the degree-2 term
+	rl.PutPoly(tmp)
+	rl.PutPoly(a0)
+	rl.PutPoly(a1)
+	rl.PutPoly(b0)
+	rl.PutPoly(b1)
 
 	// Key-switch c2 (needs the coefficient domain for digit extraction).
 	rl.INTT(c2)
 	d0, d1 := ev.params.applySwitch(c2, level, rlk.K)
+	rl.PutPoly(c2)
 	rl.Add(c0, d0, c0)
 	rl.Add(c1, d1, c1)
+	rl.PutPoly(d0)
+	rl.PutPoly(d1)
 
 	rl.INTT(c0)
 	rl.INTT(c1)
@@ -267,6 +280,7 @@ func (ev *Evaluator) RotateGalois(ct *Ciphertext, rk *RotationKey) *Ciphertext {
 	rl.Add(c0g, d0, c0g)
 	rl.INTT(c0g)
 	rl.INTT(d1)
+	rl.PutPoly(d0)
 
 	return &Ciphertext{C0: c0g, C1: d1, Level: level, Scale: ct.Scale}
 }

@@ -19,11 +19,14 @@ import (
 	"fmt"
 
 	"repro/internal/fftfp"
+	"repro/internal/lanes"
 	"repro/internal/primes"
 	"repro/internal/ring"
 )
 
-// Parameters fixes a CKKS instance. Immutable after construction.
+// Parameters fixes a CKKS instance. Immutable after construction, except
+// for SetWorkers (lane-engine sizing), which must happen before the
+// parameters are shared across goroutines.
 type Parameters struct {
 	LogN     int // ring degree exponent: N = 2^LogN
 	LimbBits int // bit width of each RNS prime (paper: 36)
@@ -33,7 +36,9 @@ type Parameters struct {
 	MantBits int // FFT mantissa width (fftfp.FP55Mantissa on the accelerator)
 
 	ringQ    *ring.Ring
+	levels   []*ring.Ring // levels[l-1]: cached view at level l (AtLevel rebuilds CRT tables — too hot for per-op calls)
 	embedder *fftfp.Embedder
+	ownedEng *lanes.Engine // non-nil when SetWorkers installed a private engine
 }
 
 // Preset parameter sets.
@@ -91,6 +96,11 @@ func (s ParamSpec) Build() (*Parameters, error) {
 		return nil, err
 	}
 	p.ringQ = r
+	p.levels = make([]*ring.Ring, s.Limbs)
+	for l := 1; l < s.Limbs; l++ {
+		p.levels[l-1] = r.AtLevel(l)
+	}
+	p.levels[s.Limbs-1] = r
 	p.embedder = fftfp.NewEmbedder(s.LogN)
 	return p, nil
 }
@@ -125,8 +135,47 @@ func (p *Parameters) Scale() float64 {
 // Ring exposes the underlying RNS ring (shared, read-only by convention).
 func (p *Parameters) Ring() *ring.Ring { return p.ringQ }
 
-// RingAt returns the ring view at the given level (limb count).
-func (p *Parameters) RingAt(level int) *ring.Ring { return p.ringQ.AtLevel(level) }
+// RingAt returns the (cached) ring view at the given level (limb count).
+func (p *Parameters) RingAt(level int) *ring.Ring {
+	if level < 1 || level > len(p.levels) {
+		panic("ckks: level out of range")
+	}
+	return p.levels[level-1]
+}
+
+// SetWorkers sizes the lane engine every limb-parallel kernel of this
+// parameter set dispatches through — the software mirror of the paper's
+// PNL-lane count (Fig. 5b sweeps it in hardware). n <= 0 selects
+// GOMAXPROCS; n = 1 forces the serial path. Call before sharing the
+// parameters across goroutines. A previously installed private engine is
+// released.
+func (p *Parameters) SetWorkers(n int) {
+	if p.ownedEng != nil {
+		p.ownedEng.Close()
+	}
+	p.ownedEng = lanes.New(n)
+	p.setEngineAll(p.ownedEng)
+}
+
+// setEngineAll installs e on the full ring and every cached level view.
+func (p *Parameters) setEngineAll(e *lanes.Engine) {
+	for _, rl := range p.levels {
+		rl.SetEngine(e)
+	}
+}
+
+// Workers reports the current lane count.
+func (p *Parameters) Workers() int { return p.ringQ.Engine().Workers() }
+
+// Close releases any private lane engine installed by SetWorkers. Safe to
+// call on parameters that never configured one.
+func (p *Parameters) Close() {
+	if p.ownedEng != nil {
+		p.ownedEng.Close()
+		p.ownedEng = nil
+		p.setEngineAll(nil)
+	}
+}
 
 // Embedder exposes the canonical-embedding FFT tables.
 func (p *Parameters) Embedder() *fftfp.Embedder { return p.embedder }

@@ -3,6 +3,7 @@ package ckks
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/prng"
 	"repro/internal/ring"
@@ -36,12 +37,13 @@ type SeededCiphertext struct {
 	Scale  float64
 }
 
-// SeededEncryptor performs secret-key seeded encryption.
+// SeededEncryptor performs secret-key seeded encryption. The call counter
+// is atomic, so one instance can encrypt from many goroutines.
 type SeededEncryptor struct {
 	params *Parameters
 	sk     *SecretKey
 	seed   [16]byte
-	calls  uint64
+	calls  atomic.Uint64
 }
 
 // NewSeededEncryptor builds a seeded encryptor. The seed is the PRNG root
@@ -56,8 +58,9 @@ func NewSeededEncryptor(params *Parameters, sk *SecretKey, seed [16]byte) *Seede
 const maskStreamBase uint64 = 1 << 40
 
 // regenMask deterministically regenerates the public mask a (NTT domain).
+// The poly is pool-backed; callers that use it as scratch return it.
 func regenMask(r *ring.Ring, seed [16]byte, stream uint64) *ring.Poly {
-	a := r.NewPoly()
+	a := r.GetPolyUninit() // UniformPoly fully overwrites
 	r.UniformPoly(prng.NewSource(seed, stream), a)
 	a.IsNTT = true
 	return a
@@ -68,20 +71,21 @@ func (se *SeededEncryptor) Encrypt(pt *Plaintext) *SeededCiphertext {
 	p := se.params
 	level := pt.Level
 	rl := p.RingAt(level)
-	se.calls++
-	stream := maskStreamBase + se.calls
+	stream := maskStreamBase + se.calls.Add(1)
 
 	a := regenMask(rl, se.seed, stream)
 	sk := &ring.Poly{Coeffs: se.sk.S.Coeffs[:level], IsNTT: true}
 
-	c0 := rl.NewPoly()
-	rl.MulCoeffs(a, sk, c0) // a·s
-	rl.Neg(c0, c0)          // -a·s
+	c0 := rl.GetPolyUninit() // MulCoeffs fully overwrites
+	rl.MulCoeffs(a, sk, c0)  // a·s
+	rl.Neg(c0, c0)           // -a·s
 	rl.INTT(c0)
+	rl.PutPoly(a)
 
-	e := rl.NewPoly()
+	e := rl.GetPolyUninit() // sampler fully overwrites
 	rl.GaussianPoly(prng.NewSource(se.seed, stream^0xE), e)
 	rl.Add(c0, e, c0)
+	rl.PutPoly(e)
 	if pt.Value.IsNTT {
 		panic("ckks: plaintext must be in coefficient domain")
 	}

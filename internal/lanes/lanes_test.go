@@ -1,0 +1,160 @@
+package lanes
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		e := New(workers)
+		for _, n := range []int{0, 1, 3, 64, 1000} {
+			hits := make([]int32, n)
+			e.Run(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, h)
+				}
+			}
+		}
+		if workers > 1 {
+			e.Close()
+		}
+	}
+}
+
+func TestNestedRun(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	var total atomic.Int64
+	e.Run(8, func(i int) {
+		e.Run(8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested run executed %d tasks, want 64", total.Load())
+	}
+}
+
+func TestRunChunksCover(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		e := New(workers)
+		for _, n := range []int{1, 7, 97, 1024} {
+			hits := make([]int32, n)
+			e.RunChunks(n, func(lo, hi int) {
+				if lo >= hi || hi > n {
+					t.Fatalf("bad chunk [%d,%d)", lo, hi)
+				}
+				for j := lo; j < hi; j++ {
+					atomic.AddInt32(&hits[j], 1)
+				}
+			})
+			for j, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, j, h)
+				}
+			}
+		}
+		if workers > 1 {
+			e.Close()
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate to caller")
+		}
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("expected *TaskPanic, got %T: %v", r, r)
+		}
+		if tp.Value != "boom" {
+			t.Fatalf("panic lost its payload: %v", tp.Value)
+		}
+		if !strings.Contains(tp.Error(), "boom") || len(tp.Stack) == 0 {
+			t.Fatalf("TaskPanic missing message or stack: %v", tp.Error())
+		}
+	}()
+	e.Run(16, func(i int) {
+		if i == 11 {
+			panic("boom")
+		}
+	})
+}
+
+func TestDefaultEngine(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must be a singleton")
+	}
+	if got := Default().Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default engine has %d workers, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	var e *Engine
+	if e.Workers() != 1 {
+		t.Fatal("nil engine must report one lane")
+	}
+	ran := 0
+	e.Run(3, func(i int) { ran++ }) // nil engine runs inline
+	if ran != 3 {
+		t.Fatal("nil engine must still execute tasks")
+	}
+}
+
+func TestMatrixPoolShapes(t *testing.T) {
+	m := GetMatrix(3, 8)
+	if len(m.Rows) != 3 || len(m.Rows[0]) != 8 {
+		t.Fatalf("matrix shape %dx%d", len(m.Rows), len(m.Rows[0]))
+	}
+	for i := range m.Rows {
+		for j := range m.Rows[i] {
+			m.Rows[i][j] = 7
+		}
+	}
+	m.Zero()
+	for i := range m.Rows {
+		for j := range m.Rows[i] {
+			if m.Rows[i][j] != 0 {
+				t.Fatal("Zero left residue")
+			}
+		}
+	}
+	PutMatrix(m)
+	// A different shape must never alias the returned buffer's rows.
+	m2 := GetMatrix(8, 3)
+	if len(m2.Rows) != 8 || len(m2.Rows[0]) != 3 {
+		t.Fatalf("matrix shape %dx%d", len(m2.Rows), len(m2.Rows[0]))
+	}
+	PutMatrix(m2)
+}
+
+func TestSlabPool(t *testing.T) {
+	s := GetSlab(100)
+	if len(s) != 100 {
+		t.Fatalf("slab length %d", len(s))
+	}
+	PutSlab(s)
+	s2 := GetSlab(100)
+	if len(s2) != 100 {
+		t.Fatalf("slab length %d after recycle", len(s2))
+	}
+	PutSlab(s2)
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	e := New(runtime.GOMAXPROCS(0))
+	defer func() {
+		if e.Workers() > 1 {
+			e.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(24, func(int) {})
+	}
+}

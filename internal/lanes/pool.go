@@ -1,0 +1,81 @@
+// Pooled scratch memory. ABC-FHE keeps its working set on chip in a few
+// KB of lane-local SRAM instead of allocating per operation (paper §IV-B);
+// the software analogue is a sync.Pool-backed allocator for the polynomial
+// scratch the CKKS hot paths churn through, keyed by shape so every (N,
+// limbs) configuration recycles its own buffers.
+package lanes
+
+import "sync"
+
+// shape keys a matrix pool: rows = RNS limbs, cols = ring degree N.
+type shape struct{ rows, cols int }
+
+var matrixPools sync.Map // shape → *sync.Pool of *Matrix
+
+// Matrix is a pooled rows×cols uint64 matrix over one contiguous backing
+// slab — the storage layout of an RNS polynomial (one row per limb).
+type Matrix struct {
+	Rows    [][]uint64
+	backing []uint64
+	key     shape
+}
+
+// GetMatrix returns a pooled rows×cols matrix. Contents are NOT cleared;
+// call Zero when the caller needs the all-zero polynomial.
+func GetMatrix(rows, cols int) *Matrix {
+	key := shape{rows, cols}
+	pl, ok := matrixPools.Load(key)
+	if !ok {
+		pl, _ = matrixPools.LoadOrStore(key, &sync.Pool{})
+	}
+	if m, ok := pl.(*sync.Pool).Get().(*Matrix); ok {
+		return m
+	}
+	backing := make([]uint64, rows*cols)
+	m := &Matrix{backing: backing, key: key, Rows: make([][]uint64, rows)}
+	for i := range m.Rows {
+		m.Rows[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// PutMatrix returns m to its shape's pool. The caller must not retain any
+// reference to m or its rows afterwards.
+func PutMatrix(m *Matrix) {
+	if m == nil {
+		return
+	}
+	pl, _ := matrixPools.LoadOrStore(m.key, &sync.Pool{})
+	pl.(*sync.Pool).Put(m)
+}
+
+// Zero clears the whole matrix (single memclr over the backing slab).
+func (m *Matrix) Zero() {
+	clear(m.backing)
+}
+
+// Flat scratch slabs ----------------------------------------------------
+
+var slabPools sync.Map // int → *sync.Pool of *[]uint64
+
+// GetSlab returns a pooled []uint64 of exactly length n, contents
+// unspecified (callers overwrite).
+func GetSlab(n int) []uint64 {
+	pl, ok := slabPools.Load(n)
+	if !ok {
+		pl, _ = slabPools.LoadOrStore(n, &sync.Pool{})
+	}
+	if s, ok := pl.(*sync.Pool).Get().(*[]uint64); ok {
+		return *s
+	}
+	return make([]uint64, n)
+}
+
+// PutSlab returns a slab obtained from GetSlab.
+func PutSlab(s []uint64) {
+	if s == nil {
+		return
+	}
+	pl, _ := slabPools.LoadOrStore(len(s), &sync.Pool{})
+	pl.(*sync.Pool).Put(&s)
+}

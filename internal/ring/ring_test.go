@@ -3,6 +3,7 @@ package ring
 import (
 	"testing"
 
+	"repro/internal/lanes"
 	"repro/internal/primes"
 	"repro/internal/prng"
 )
@@ -186,5 +187,92 @@ func BenchmarkRingNTT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.NTT(p)
 		r.INTT(p)
+	}
+}
+
+// Lane engine: results must be bit-identical at any worker count.
+func TestLaneEngineDeterminism(t *testing.T) {
+	run := func(workers int) (*Ring, *Poly, *Poly) {
+		r := testRing(t)
+		e := lanes.New(workers)
+		defer e.Close()
+		r.SetEngine(e)
+		a, b := r.NewPoly(), r.NewPoly()
+		r.UniformPoly(src(20), a)
+		r.TernaryPoly(src(21), b)
+		r.NTT(a)
+		r.NTT(b)
+		prod := r.NewPoly()
+		r.MulCoeffs(a, b, prod)
+		r.INTT(prod)
+		sum := r.NewPoly()
+		r.Add(a, b, sum)
+		return r, prod, sum
+	}
+	r1, prod1, sum1 := run(1)
+	for _, w := range []int{2, 8} {
+		_, prodW, sumW := run(w)
+		if !r1.Equal(prod1, prodW) || !r1.Equal(sum1, sumW) {
+			t.Fatalf("results differ between 1 and %d workers", w)
+		}
+	}
+}
+
+func TestPolyPool(t *testing.T) {
+	r := testRing(t)
+	p := r.GetPoly()
+	if p.Level() != r.K() || len(p.Coeffs[0]) != r.N {
+		t.Fatal("pooled poly has wrong shape")
+	}
+	for i := range p.Coeffs {
+		for _, v := range p.Coeffs[i] {
+			if v != 0 {
+				t.Fatal("GetPoly must return a zeroed poly")
+			}
+		}
+	}
+	r.UniformPoly(src(22), p)
+	r.PutPoly(p)
+	if p.Coeffs != nil {
+		t.Fatal("PutPoly must clear the poly's storage reference")
+	}
+	r.PutPoly(p) // double put is a safe no-op
+	q := r.GetPoly()
+	for i := range q.Coeffs {
+		for _, v := range q.Coeffs[i] {
+			if v != 0 {
+				t.Fatal("recycled poly not re-zeroed")
+			}
+		}
+	}
+	r.PutPoly(q)
+	// Non-pooled polys pass through PutPoly untouched.
+	n := r.NewPoly()
+	r.PutPoly(n)
+	if n.Coeffs == nil {
+		t.Fatal("PutPoly must not claim NewPoly storage")
+	}
+	// Pooled copies preserve contents and domain.
+	orig := r.NewPoly()
+	r.UniformPoly(src(23), orig)
+	r.NTT(orig)
+	cp := r.GetPolyCopy(orig)
+	if !r.Equal(cp, orig) {
+		t.Fatal("GetPolyCopy must preserve contents")
+	}
+	r.PutPoly(cp)
+}
+
+func TestEngineInheritedByLevelView(t *testing.T) {
+	r := testRing(t)
+	e := lanes.New(2)
+	defer e.Close()
+	r.SetEngine(e)
+	if r.AtLevel(2).Engine() != e {
+		t.Fatal("level view must inherit the ring's engine")
+	}
+	r.SetEngine(nil)
+	if r.Engine() != lanes.Default() {
+		t.Fatal("nil engine must fall back to the shared default")
 	}
 }

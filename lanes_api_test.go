@@ -1,0 +1,194 @@
+package abcfhe
+
+// Tests for the lane-parallel execution engine at the public-API level:
+// the determinism contract (same seed ⇒ byte-identical ciphertexts at any
+// worker count), batch/serial equivalence, and concurrent-use safety of a
+// single Client (run with -race; CI does).
+
+import (
+	"bytes"
+	"fmt"
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+func laneTestMsgs(c *Client, n int) [][]complex128 {
+	msgs := make([][]complex128, n)
+	for k := range msgs {
+		msg := make([]complex128, c.Slots())
+		for i := range msg {
+			msg[i] = complex(float64((i+3*k)%17)/17-0.5, float64((i+5*k)%13)/13-0.5)
+		}
+		msgs[k] = msg
+	}
+	return msgs
+}
+
+// TestLaneDeterminism is the acceptance check for the lanes engine: for a
+// fixed seed, EncodeEncrypt output is byte-identical at worker counts 1,
+// 2 and 8, for single calls and for batches.
+func TestLaneDeterminism(t *testing.T) {
+	var refSingle, refBatch []byte
+	for _, w := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			c, err := NewClient(Test, 0xABC, 0xF0E, WithWorkers(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Workers() != w {
+				t.Fatalf("client reports %d workers, want %d", c.Workers(), w)
+			}
+			msgs := laneTestMsgs(c, 3)
+
+			single, err := c.SerializeCiphertext(c.EncodeEncrypt(msgs[0]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var batch bytes.Buffer
+			for _, ct := range c.EncodeEncryptBatch(msgs) {
+				b, err := c.SerializeCiphertext(ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch.Write(b)
+			}
+
+			if refSingle == nil {
+				refSingle, refBatch = single, batch.Bytes()
+				return
+			}
+			if !bytes.Equal(single, refSingle) {
+				t.Fatal("EncodeEncrypt output differs from the 1-worker reference")
+			}
+			if !bytes.Equal(batch.Bytes(), refBatch) {
+				t.Fatal("EncodeEncryptBatch output differs from the 1-worker reference")
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSequential: a batch must consume exactly the stream
+// windows sequential calls would, so the two orders are interchangeable.
+func TestBatchMatchesSequential(t *testing.T) {
+	seq, err := NewClient(Test, 11, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := NewClient(Test, 11, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := laneTestMsgs(seq, 4)
+
+	cts := bat.EncodeEncryptBatch(msgs)
+	if len(cts) != len(msgs) {
+		t.Fatalf("batch returned %d ciphertexts for %d messages", len(cts), len(msgs))
+	}
+	for i, msg := range msgs {
+		want, err := seq.SerializeCiphertext(seq.EncodeEncrypt(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bat.SerializeCiphertext(cts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("batch ciphertext %d differs from sequential encryption", i)
+		}
+	}
+
+	// And the round trip still decodes, batched.
+	decoded := bat.DecryptDecodeBatch(cts)
+	for i := range msgs {
+		for j := range msgs[i] {
+			if cmplx.Abs(decoded[i][j]-msgs[i][j]) > 1e-4 {
+				t.Fatalf("message %d slot %d error %g", i, j, cmplx.Abs(decoded[i][j]-msgs[i][j]))
+			}
+		}
+	}
+}
+
+// TestConcurrentEncrypt exercises one Client from many goroutines — the
+// atomic stream counter must hand every encryption a disjoint PRNG
+// window, and all shared state (pools, tables) must be race-free.
+func TestConcurrentEncrypt(t *testing.T) {
+	c, err := NewClient(Test, 77, 88, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines = 8
+	const perG = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			msg := make([]complex128, c.Slots())
+			for i := range msg {
+				msg[i] = complex(float64(g)/16, -float64(g)/32)
+			}
+			for k := 0; k < perG; k++ {
+				got := c.DecryptDecode(c.EncodeEncrypt(msg))
+				for i := range msg {
+					if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
+						errs <- fmt.Errorf("goroutine %d slot %d error %g", g, i, cmplx.Abs(got[i]-msg[i]))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCompressedUploadConcurrent covers the seeded path's atomic counter.
+func TestCompressedUploadConcurrent(t *testing.T) {
+	c, err := NewClient(Test, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			msg := make([]complex128, c.Slots())
+			for i := range msg {
+				msg[i] = complex(0.125*float64(g+1), -0.0625)
+			}
+			data, err := c.EncodeEncryptCompressed(msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			ct, err := c.ExpandCompressedUpload(data)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got := c.DecryptDecode(ct)
+			for i := range msg {
+				if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
+					errs <- fmt.Errorf("goroutine %d slot %d error %g", g, i, cmplx.Abs(got[i]-msg[i]))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
