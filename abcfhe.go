@@ -165,12 +165,21 @@ func (c *Client) EncodeEncrypt(msg []complex128) *Ciphertext {
 }
 
 // DecryptDecode runs the inbound pipeline: decryption at the ciphertext's
-// level, CRT combination and FFT decoding.
+// level, allocation-free CRT combination (word-arithmetic centered lifts,
+// no big.Int) and FFT decoding.
 func (c *Client) DecryptDecode(ct *Ciphertext) []complex128 {
+	return c.DecryptDecodeInto(ct, make([]complex128, c.params.Slots()))
+}
+
+// DecryptDecodeInto is DecryptDecode writing into a caller-provided slot
+// buffer of length Slots() (returned for chaining). With a reused buffer
+// the steady-state inbound pipeline allocates only transient bookkeeping —
+// the inbound mirror of EncodeEncrypt's recycled plaintexts.
+func (c *Client) DecryptDecodeInto(ct *Ciphertext, out []complex128) []complex128 {
 	pt := c.decryptor.Decrypt(ct)
-	msg := c.encoder.Decode(pt)
+	c.encoder.DecodeInto(pt, out)
 	c.params.PutPlaintext(pt)
-	return msg
+	return out
 }
 
 // EncodeEncryptBatch runs the outbound pipeline over a whole batch,
@@ -189,9 +198,25 @@ func (c *Client) EncodeEncryptBatch(msgs [][]complex128) []*Ciphertext {
 // DecryptDecodeBatch runs the inbound pipeline over a whole batch in
 // parallel (the decryptor is stateless, so messages are independent).
 func (c *Client) DecryptDecodeBatch(cts []*Ciphertext) [][]complex128 {
-	out := make([][]complex128, len(cts))
+	return c.DecryptDecodeBatchInto(cts, make([][]complex128, len(cts)))
+}
+
+// DecryptDecodeBatchInto is DecryptDecodeBatch writing into caller-provided
+// slot buffers: out must have len(cts) entries; nil entries are allocated,
+// non-nil entries (length Slots()) are reused in place. Whole messages fan
+// out across the lane engine and each message's Combine-CRT stage then fans
+// its coefficient blocks onto idle lanes, so a served batch keeps every
+// lane busy with zero steady-state allocation. Results are bit-identical
+// to sequential DecryptDecode calls at any worker count.
+func (c *Client) DecryptDecodeBatchInto(cts []*Ciphertext, out [][]complex128) [][]complex128 {
+	if len(out) != len(cts) {
+		panic("abcfhe: batch output must have one entry per ciphertext")
+	}
 	c.params.Ring().Engine().Run(len(cts), func(i int) {
-		out[i] = c.DecryptDecode(cts[i])
+		if out[i] == nil {
+			out[i] = make([]complex128, c.params.Slots())
+		}
+		c.DecryptDecodeInto(cts[i], out[i])
 	})
 	return out
 }

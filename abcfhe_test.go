@@ -81,8 +81,8 @@ func TestAcceleratorSummary(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
-		t.Fatalf("expected 15 experiments, have %v", ids)
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, have %v", ids)
 	}
 	out, err := RunExperiment("table1", true)
 	if err != nil || out == "" {

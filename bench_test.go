@@ -101,6 +101,63 @@ func BenchmarkClientDecryptDecode(b *testing.B) {
 	}
 }
 
+// Per-preset decode benchmarks at the paper's 2-limb return level. Run
+// with -benchmem: the allocs/op column is the regression canary for the
+// allocation-free Combine-CRT path (the Test preset sat at ~9.7k allocs/op
+// on the old big.Int combine; the fast path runs at ~20).
+func BenchmarkDecryptDecode(b *testing.B) {
+	for _, preset := range []Preset{Test, PN13, PN14, PN15, PN16} {
+		b.Run(string(preset), func(b *testing.B) {
+			c, err := NewClient(preset, 7, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := make([]complex128, c.Slots())
+			src := prng.NewSource(prng.SeedFromUint64s(1, 2), 0)
+			for i := range msg {
+				msg[i] = complex(src.Float64()-0.5, src.Float64()-0.5)
+			}
+			low := c.Evaluator().DropLevel(c.EncodeEncrypt(msg), 2)
+			out := make([]complex128, c.Slots())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.DecryptDecodeInto(low, out)
+			}
+		})
+	}
+}
+
+// Batch decode: message-level fan-out over reused slot buffers.
+func BenchmarkDecryptDecodeBatch(b *testing.B) {
+	for _, preset := range []Preset{Test, PN13} {
+		b.Run(fmt.Sprintf("%s/8msgs", preset), func(b *testing.B) {
+			c, err := NewClient(preset, 7, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := make([]complex128, c.Slots())
+			src := prng.NewSource(prng.SeedFromUint64s(1, 2), 0)
+			for i := range msg {
+				msg[i] = complex(src.Float64()-0.5, src.Float64()-0.5)
+			}
+			cts := make([]*Ciphertext, 8)
+			out := make([][]complex128, len(cts))
+			for i := range cts {
+				cts[i] = c.Evaluator().DropLevel(c.EncodeEncrypt(msg), 2)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.DecryptDecodeBatchInto(cts, out)
+			}
+		})
+	}
+}
+
+// Extension: decode lane sweep with allocation accounting.
+func BenchmarkDecodeExperiment(b *testing.B) { benchExperiment(b, "decode") }
+
 func BenchmarkAcceleratorModel(b *testing.B) {
 	cfg := sim.PaperConfig()
 	b.ResetTimer()

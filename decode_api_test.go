@@ -1,0 +1,159 @@
+package abcfhe
+
+// Tests for the lane-parallel decode path at the public-API level: batch
+// vs sequential equivalence, buffer-reuse semantics of the Into variants,
+// worker-count bit-determinism and concurrent-use safety of
+// DecryptDecodeBatch on a shared Client (run with -race; CI does).
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func decodeTestCiphertexts(t testing.TB, c *Client, n int) ([]*Ciphertext, [][]complex128) {
+	t.Helper()
+	msgs := laneTestMsgs(c, n)
+	cts := c.EncodeEncryptBatch(msgs)
+	// Mixed levels exercise every cached level view: drop every other
+	// ciphertext to the paper's 2-limb return state.
+	for i, ct := range cts {
+		if i%2 == 1 {
+			cts[i] = c.Evaluator().DropLevel(ct, 2)
+		}
+	}
+	return cts, msgs
+}
+
+func slotsEqualBits(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecryptDecodeBatchMatchesSequential: the batch path must emit
+// exactly the slot vectors sequential DecryptDecode calls produce.
+func TestDecryptDecodeBatchMatchesSequential(t *testing.T) {
+	c, err := NewClient(Test, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, _ := decodeTestCiphertexts(t, c, 5)
+
+	batch := c.DecryptDecodeBatch(cts)
+	for i, ct := range cts {
+		if !slotsEqualBits(batch[i], c.DecryptDecode(ct)) {
+			t.Fatalf("batch message %d differs from sequential decode", i)
+		}
+	}
+}
+
+// TestDecryptDecodeBatchInto pins the buffer-reuse contract: non-nil
+// entries are written in place, nil entries allocated, and a mis-sized
+// batch panics.
+func TestDecryptDecodeBatchInto(t *testing.T) {
+	c, err := NewClient(Test, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, _ := decodeTestCiphertexts(t, c, 3)
+	ref := c.DecryptDecodeBatch(cts)
+
+	out := make([][]complex128, len(cts))
+	out[0] = make([]complex128, c.Slots()) // reused in place
+	reused := out[0]
+	got := c.DecryptDecodeBatchInto(cts, out)
+	if &got[0][0] != &reused[0] {
+		t.Fatal("provided buffer was not reused")
+	}
+	for i := range ref {
+		if !slotsEqualBits(got[i], ref[i]) {
+			t.Fatalf("BatchInto message %d differs from DecryptDecodeBatch", i)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mis-sized batch output must panic")
+		}
+	}()
+	c.DecryptDecodeBatchInto(cts, make([][]complex128, len(cts)-1))
+}
+
+// TestDecodeDeterminismAcrossWorkers: DecryptDecode and the batch path
+// must produce bit-identical slot values at worker counts 1, 2 and 8.
+func TestDecodeDeterminismAcrossWorkers(t *testing.T) {
+	var refSingle []complex128
+	var refBatch [][]complex128
+	for _, w := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			c, err := NewClient(Test, 0xABC, 0xF0E, WithWorkers(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cts, _ := decodeTestCiphertexts(t, c, 3)
+
+			single := c.DecryptDecode(cts[1])
+			batch := c.DecryptDecodeBatch(cts)
+
+			if refSingle == nil {
+				refSingle, refBatch = single, batch
+				return
+			}
+			if !slotsEqualBits(single, refSingle) {
+				t.Fatal("DecryptDecode output differs from the 1-worker reference")
+			}
+			for i := range refBatch {
+				if !slotsEqualBits(batch[i], refBatch[i]) {
+					t.Fatalf("batch message %d differs from the 1-worker reference", i)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDecryptDecodeBatch hammers one shared Client with
+// concurrent batch decodes (the decryptor is stateless and the scratch
+// pools are the only shared mutable state) — the -race acceptance test
+// for the decode pipeline.
+func TestConcurrentDecryptDecodeBatch(t *testing.T) {
+	c, err := NewClient(Test, 21, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, _ := decodeTestCiphertexts(t, c, 4)
+	ref := c.DecryptDecodeBatch(cts)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				got := c.DecryptDecodeBatch(cts)
+				for i := range ref {
+					if !slotsEqualBits(got[i], ref[i]) {
+						errs <- fmt.Errorf("goroutine %d iter %d: message %d mismatch", g, iter, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

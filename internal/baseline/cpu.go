@@ -1,11 +1,56 @@
 package baseline
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/ckks"
 	"repro/internal/prng"
 )
+
+// measureClient is the shared harness every live-CPU measurement runs on:
+// one parameter build, one key pair, the client components, and a fixed
+// pseudo-random message. Both the swlanes and decode experiments measure
+// through this exact configuration, so their numbers stay comparable.
+type measureClient struct {
+	params    *ckks.Parameters
+	enc       *ckks.Encoder
+	encryptor *ckks.Encryptor
+	dec       *ckks.Decryptor
+	ev        *ckks.Evaluator
+	msg       []complex128
+}
+
+// newMeasureClient builds the harness. workers <= 0 keeps the default
+// engine (GOMAXPROCS lanes); otherwise a private engine is installed and
+// released by close.
+func newMeasureClient(spec ckks.ParamSpec, workers int) (*measureClient, error) {
+	params, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if workers > 0 {
+		params.SetWorkers(workers)
+	}
+	seed := prng.SeedFromUint64s(0xABC0FE, 0xBC0FE)
+	kg := ckks.NewKeyGenerator(params, seed)
+	sk, pk := kg.GenKeyPair()
+	m := &measureClient{
+		params:    params,
+		enc:       ckks.NewEncoder(params),
+		encryptor: ckks.NewEncryptor(params, pk, seed),
+		dec:       ckks.NewDecryptor(params, sk),
+		ev:        ckks.NewEvaluator(params),
+		msg:       make([]complex128, params.Slots()),
+	}
+	src := prng.NewSource(seed, 999)
+	for i := range m.msg {
+		m.msg[i] = complex(src.Float64()*2-1, src.Float64()*2-1)
+	}
+	return m, nil
+}
+
+func (m *measureClient) close() { m.params.Close() }
 
 // MeasureCPU times our own from-scratch Go CKKS client on the host — the
 // independent CPU baseline (DESIGN.md: speed-ups are reported both against
@@ -24,31 +69,13 @@ func MeasureCPU(spec ckks.ParamSpec, decLimbs, iters int) (encMS, decMS float64,
 
 // MeasureCPULanes is MeasureCPU with an explicit software-lane (worker)
 // count — the knob the swlanes experiment sweeps, mirroring the paper's
-// Fig. 5b hardware lane sweep. workers <= 0 keeps the default engine
-// (GOMAXPROCS lanes); 1 is the fully serial reference.
+// Fig. 5b hardware lane sweep.
 func MeasureCPULanes(spec ckks.ParamSpec, decLimbs, iters, workers int) (encMS, decMS float64, err error) {
-	params, err := spec.Build()
+	m, err := newMeasureClient(spec, workers)
 	if err != nil {
 		return 0, 0, err
 	}
-	if workers > 0 {
-		params.SetWorkers(workers)
-		defer params.Close()
-	}
-	seed := prng.SeedFromUint64s(0xABC0FE, 0xBC0FE)
-	kg := ckks.NewKeyGenerator(params, seed)
-	sk, pk := kg.GenKeyPair()
-	enc := ckks.NewEncoder(params)
-	encryptor := ckks.NewEncryptor(params, pk, seed)
-	dec := ckks.NewDecryptor(params, sk)
-	ev := ckks.NewEvaluator(params)
-
-	msg := make([]complex128, params.Slots())
-	src := prng.NewSource(seed, 999)
-	for i := range msg {
-		msg[i] = complex(src.Float64()*2-1, src.Float64()*2-1)
-	}
-
+	defer m.close()
 	if iters < 1 {
 		iters = 1
 	}
@@ -56,15 +83,53 @@ func MeasureCPULanes(spec ckks.ParamSpec, decLimbs, iters, workers int) (encMS, 
 	start := time.Now()
 	var ct *ckks.Ciphertext
 	for i := 0; i < iters; i++ {
-		ct = encryptor.Encrypt(enc.Encode(msg))
+		ct = m.encryptor.Encrypt(m.enc.Encode(m.msg))
 	}
 	encMS = float64(time.Since(start)) / float64(time.Millisecond) / float64(iters)
 
-	low := ev.DropLevel(ct, decLimbs)
+	low := m.ev.DropLevel(ct, decLimbs)
 	start = time.Now()
 	for i := 0; i < iters; i++ {
-		_ = enc.Decode(dec.Decrypt(low))
+		_ = m.enc.Decode(m.dec.Decrypt(low))
 	}
 	decMS = float64(time.Since(start)) / float64(time.Millisecond) / float64(iters)
 	return encMS, decMS, nil
+}
+
+// MeasureDecode times the inbound client pipeline (decrypt at decLimbs +
+// fast Combine-CRT decode through reused buffers) and reports both latency
+// and heap allocations per operation — the measured counterpart of the
+// accelerator's decode datapath, and the number the `decode` experiment
+// tracks against the big.Int-path baseline (~9.7k allocs/op on the Test
+// preset).
+func MeasureDecode(spec ckks.ParamSpec, decLimbs, iters, workers int) (decMS, allocsPerOp float64, err error) {
+	m, err := newMeasureClient(spec, workers)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer m.close()
+	if iters < 1 {
+		iters = 1
+	}
+
+	low := m.ev.DropLevel(m.encryptor.Encrypt(m.enc.Encode(m.msg)), decLimbs)
+	out := make([]complex128, m.params.Slots())
+	decode := func() {
+		pt := m.dec.Decrypt(low)
+		m.enc.DecodeInto(pt, out)
+		m.params.PutPlaintext(pt)
+	}
+	decode() // warm the scratch pools so steady state is what's measured
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		decode()
+	}
+	decMS = float64(time.Since(start)) / float64(time.Millisecond) / float64(iters)
+	runtime.ReadMemStats(&m1)
+	allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+	return decMS, allocsPerOp, nil
 }

@@ -40,9 +40,9 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"archsweep", "fig1", "fig2", "fig3c", "fig4", "fig5a",
-		"fig5b", "fig6a", "fig6b", "memclaim", "primes", "seeded", "swlanes",
-		"table1", "table2"}
+	want := []string{"archsweep", "decode", "fig1", "fig2", "fig3c", "fig4",
+		"fig5a", "fig5b", "fig6a", "fig6b", "memclaim", "primes", "seeded",
+		"swlanes", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("experiment list %v", got)

@@ -3,6 +3,8 @@ package ckks
 import (
 	"math"
 
+	"repro/internal/fftfp"
+	"repro/internal/lanes"
 	"repro/internal/ring"
 )
 
@@ -141,7 +143,25 @@ func (enc *Encoder) Encode(msg []complex128) *Plaintext {
 // coefficient (centered lift over the level's modulus), divide by the
 // scale, then the forward special FFT.
 func (enc *Encoder) Decode(pt *Plaintext) []complex128 {
+	return enc.DecodeInto(pt, make([]complex128, enc.params.Slots()))
+}
+
+// DecodeInto is Decode writing into a caller-provided slot vector of
+// length Slots() (returned for chaining) — the allocation-lean form the
+// batch pipeline reuses buffers through.
+//
+// The Combine-CRT stage runs on the basis's allocation-free fast combine
+// (rns.CombineCenteredFloatScratch): per-coefficient centered lifts are
+// independent, so coefficient blocks fan out across the lane engine, and
+// every block draws its limb/accumulator scratch from the lanes pools.
+// The big.Int oracle path stays available for verification
+// (rns.CombineCenteredFloatBig); the property/fuzz suite in internal/rns
+// pins the two to ≤1e-12 relative disagreement at every level.
+func (enc *Encoder) DecodeInto(pt *Plaintext, out []complex128) []complex128 {
 	p := enc.params
+	if len(out) != p.Slots() {
+		panic("ckks: decode output must have Slots() entries")
+	}
 	rl := p.RingAt(pt.Level)
 	val := pt.Value
 	var scratch *ring.Poly
@@ -150,24 +170,28 @@ func (enc *Encoder) Decode(pt *Plaintext) []complex128 {
 		rl.INTT(scratch)
 		val = scratch
 	}
-	// Combine CRT: per-coefficient centered lifts are independent, so the
-	// combine stage runs chunked across the lanes (each chunk carries its
-	// own limb scratch).
-	coeffs := make([]float64, p.N())
+	basis := rl.Basis
+	level, scale := pt.Level, pt.Scale
+	coeffs := lanes.GetFloatSlab(p.N())
 	rl.Engine().RunChunks(p.N(), func(lo, hi int) {
-		limbs := make([]uint64, pt.Level)
+		limbs := lanes.GetSlab(level)
+		comb := lanes.GetSlab(basis.CombineScratchLen())
 		for j := lo; j < hi; j++ {
-			for i := 0; i < pt.Level; i++ {
+			for i := 0; i < level; i++ {
 				limbs[i] = val.Coeffs[i][j]
 			}
-			coeffs[j] = rl.Basis.CombineCenteredFloat(limbs, pt.Scale)
+			coeffs[j] = basis.CombineCenteredFloatScratch(limbs, scale, comb)
 		}
+		lanes.PutSlab(comb)
+		lanes.PutSlab(limbs)
 	})
 	rl.PutPoly(scratch)
-	slots := p.Embedder().DecodeFromCoeffs(coeffs, p.FFTCtx())
-	out := make([]complex128, p.Slots())
+	slots := fftfp.GetSlotSlab(p.Slots())
+	p.Embedder().DecodeFromCoeffsInto(coeffs, slots, p.FFTCtx())
+	lanes.PutFloatSlab(coeffs)
 	for i, v := range slots {
 		out[i] = complex(v.Re, v.Im)
 	}
+	fftfp.PutSlotSlab(slots)
 	return out
 }

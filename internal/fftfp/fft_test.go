@@ -254,3 +254,46 @@ func TestStreamingFFTStats(t *testing.T) {
 		t.Fatal("II must be slots/P")
 	}
 }
+
+func TestDecodeFromCoeffsInto(t *testing.T) {
+	e := NewEmbedder(6)
+	msg := make([]Complex, e.Slots)
+	for i := range msg {
+		msg[i] = Complex{Re: float64(i%5) - 2, Im: float64(i%3) - 1}
+	}
+	coeffs := e.EncodeToCoeffs(msg, fullCtx())
+	want := e.DecodeFromCoeffs(coeffs, fullCtx())
+
+	vals := GetSlotSlab(e.Slots)
+	got := e.DecodeFromCoeffsInto(coeffs, vals, fullCtx())
+	if &got[0] != &vals[0] {
+		t.Fatal("Into variant must write into the provided buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: Into %v != alloc %v", i, got[i], want[i])
+		}
+	}
+	PutSlotSlab(vals)
+
+	// Dirty recycled slabs must not affect results.
+	dirty := GetSlotSlab(e.Slots)
+	for i := range dirty {
+		dirty[i] = Complex{Re: 1e300, Im: -1e300}
+	}
+	again := e.DecodeFromCoeffsInto(coeffs, dirty, fullCtx())
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("slot %d differs on dirty slab reuse", i)
+		}
+	}
+	PutSlotSlab(dirty)
+	PutSlotSlab(nil) // no-op
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mis-sized slot buffer must panic")
+		}
+	}()
+	e.DecodeFromCoeffsInto(coeffs, make([]Complex, e.Slots-1), fullCtx())
+}

@@ -158,3 +158,23 @@ func BenchmarkRunOverhead(b *testing.B) {
 		e.Run(24, func(int) {})
 	}
 }
+
+func TestFloatSlabPool(t *testing.T) {
+	s := GetFloatSlab(64)
+	if len(s) != 64 {
+		t.Fatalf("slab length %d", len(s))
+	}
+	for i := range s {
+		s[i] = float64(i) + 0.5
+	}
+	PutFloatSlab(s)
+	s2 := GetFloatSlab(64)
+	if len(s2) != 64 {
+		t.Fatalf("recycled slab length %d", len(s2))
+	}
+	PutFloatSlab(s2)
+	if n := GetFloatSlab(32); len(n) != 32 {
+		t.Fatalf("distinct size pooled together: len %d", len(n))
+	}
+	PutFloatSlab(nil) // must be a no-op
+}

@@ -56,26 +56,52 @@ func (m *Matrix) Zero() {
 
 // Flat scratch slabs ----------------------------------------------------
 
-var slabPools sync.Map // int → *sync.Pool of *[]uint64
-
-// GetSlab returns a pooled []uint64 of exactly length n, contents
-// unspecified (callers overwrite).
-func GetSlab(n int) []uint64 {
-	pl, ok := slabPools.Load(n)
-	if !ok {
-		pl, _ = slabPools.LoadOrStore(n, &sync.Pool{})
-	}
-	if s, ok := pl.(*sync.Pool).Get().(*[]uint64); ok {
-		return *s
-	}
-	return make([]uint64, n)
+// SlabPool is a length-keyed recycler of []T scratch slabs: Get returns a
+// slab of exactly the requested length with unspecified contents (callers
+// overwrite), Put recycles it. The zero value is ready to use. Packages
+// with their own element types (e.g. fftfp's complex slots) declare their
+// own instance instead of copying the pattern.
+type SlabPool[T any] struct {
+	pools sync.Map // int → *sync.Pool of *[]T
 }
 
-// PutSlab returns a slab obtained from GetSlab.
-func PutSlab(s []uint64) {
+// Get returns a pooled []T of exactly length n, contents unspecified.
+func (p *SlabPool[T]) Get(n int) []T {
+	pl, ok := p.pools.Load(n)
+	if !ok {
+		pl, _ = p.pools.LoadOrStore(n, &sync.Pool{})
+	}
+	if s, ok := pl.(*sync.Pool).Get().(*[]T); ok {
+		return *s
+	}
+	return make([]T, n)
+}
+
+// Put recycles a slab obtained from Get. nil is a no-op.
+func (p *SlabPool[T]) Put(s []T) {
 	if s == nil {
 		return
 	}
-	pl, _ := slabPools.LoadOrStore(len(s), &sync.Pool{})
+	pl, _ := p.pools.LoadOrStore(len(s), &sync.Pool{})
 	pl.(*sync.Pool).Put(&s)
 }
+
+var (
+	uintSlabs  SlabPool[uint64]
+	floatSlabs SlabPool[float64]
+)
+
+// GetSlab returns a pooled []uint64 of exactly length n, contents
+// unspecified (callers overwrite).
+func GetSlab(n int) []uint64 { return uintSlabs.Get(n) }
+
+// PutSlab returns a slab obtained from GetSlab.
+func PutSlab(s []uint64) { uintSlabs.Put(s) }
+
+// GetFloatSlab returns a pooled []float64 of exactly length n, contents
+// unspecified (callers overwrite) — the coefficient scratch of decode's
+// Combine-CRT stage.
+func GetFloatSlab(n int) []float64 { return floatSlabs.Get(n) }
+
+// PutFloatSlab returns a slab obtained from GetFloatSlab.
+func PutFloatSlab(s []float64) { floatSlabs.Put(s) }

@@ -81,9 +81,10 @@ func (r *Ring) Engine() *lanes.Engine {
 }
 
 // AtLevel returns a view of the ring restricted to the first `level` limbs.
-// Tables and the lane engine are shared, but the sub-basis rebuilds its
-// big-int CRT tables — construction cost, not per-op cost. Hot paths
-// should go through ckks.Parameters.RingAt, which caches these views.
+// Tables and the lane engine are shared, and the sub-basis (with its CRT
+// and fast-combine tables) is memoized inside rns.Basis, so repeated views
+// of the same level are cheap. ckks.Parameters.RingAt additionally caches
+// the Ring wrappers themselves for the hot paths.
 func (r *Ring) AtLevel(level int) *Ring {
 	if level < 1 || level > r.K() {
 		panic("ring: level out of range")

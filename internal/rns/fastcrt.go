@@ -1,0 +1,184 @@
+// Fast CRT reconstruction: the allocation-free decode path.
+//
+// CombineCenteredFloat lifts a residue vector to its centered
+// representative in (-Q/2, Q/2] and divides by the scale — per coefficient,
+// for every coefficient of a decoded polynomial. The exact big.Int path
+// (CombineCentered) allocates roughly a dozen times per call, which at
+// N coefficients per decode made DecryptDecode the client's allocation
+// hot spot (~9.7k allocs/op on the Test preset before this path existed).
+//
+// The fast path works on precomputed multi-word little-endian images of
+// Q, floor(Q/2) and every qiHat_i = Q/q_i. Per coefficient it runs
+//
+//	acc = Σ_i qiHat_i · ((r_i · qiHatInv_i) mod q_i)   (mod Q)
+//
+// entirely in word arithmetic: a scalar multiply-accumulate over the
+// qiHat rows with one conditional subtraction of Q per limb (each term is
+// < Q, so acc stays < 2Q and one subtraction restores the invariant), a
+// centered lift by sign-magnitude against floor(Q/2), and a float64
+// conversion from the top three words (≤ 192 bits, so the truncation
+// error ≤ 2^-64 relative is far below the float64 rounding of ~2^-53 —
+// and both are inside the 1e-12 relative agreement the property/fuzz
+// suite enforces against the big.Int oracle, itself three orders of
+// magnitude stricter than the 1e-9 acceptance bar).
+//
+// The big.Int path stays as the reference oracle; TestCombineFastMatchesBigInt
+// and FuzzCombineCentered drive random residue vectors at every level of
+// every preset through both and assert agreement.
+package rns
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// fastCRT holds the word-level tables the allocation-free combine runs on.
+// Built once per Basis; read-only afterwards.
+type fastCRT struct {
+	words int      // 64-bit words per multi-word value (⌈bitlen(Q)/64⌉)
+	q     []uint64 // Q, little-endian words
+	halfQ []uint64 // floor(Q/2), little-endian words
+	qhat  []uint64 // K rows of `words` words: row i is qiHat_i = Q/q_i
+}
+
+func newFastCRT(b *Basis) *fastCRT {
+	w := (b.Q.BitLen() + 63) / 64
+	f := &fastCRT{
+		words: w,
+		q:     bigToWords(b.Q, w),
+		halfQ: bigToWords(b.halfQ, w),
+		qhat:  make([]uint64, len(b.qiHat)*w),
+	}
+	for i, h := range b.qiHat {
+		copy(f.qhat[i*w:(i+1)*w], bigToWords(h, w))
+	}
+	return f
+}
+
+// bigToWords renders non-negative v as exactly w little-endian 64-bit
+// words (setup-time only, so the portable big.Int walk is fine).
+func bigToWords(v *big.Int, w int) []uint64 {
+	out := make([]uint64, w)
+	t := new(big.Int).Set(v)
+	mask := new(big.Int).SetUint64(^uint64(0))
+	word := new(big.Int)
+	for i := 0; i < w; i++ {
+		out[i] = word.And(t, mask).Uint64()
+		t.Rsh(t, 64)
+	}
+	if t.Sign() != 0 {
+		panic("rns: value does not fit fast-CRT word count")
+	}
+	return out
+}
+
+// CombineScratchLen reports the scratch length (in uint64 words)
+// CombineCenteredFloatScratch requires for this basis.
+func (b *Basis) CombineScratchLen() int { return b.fast.words + 1 }
+
+// CombineCenteredFloat reconstructs the centered value of the residue
+// vector and returns it divided by scale — the decode hot path. It is the
+// convenience form of CombineCenteredFloatScratch (one small scratch
+// allocation); decode loops should hold a pooled scratch and call the
+// Scratch variant, which allocates nothing.
+func (b *Basis) CombineCenteredFloat(limbs []uint64, scale float64) float64 {
+	return b.CombineCenteredFloatScratch(limbs, scale, make([]uint64, b.CombineScratchLen()))
+}
+
+// CombineCenteredFloatScratch is CombineCenteredFloat with caller-owned
+// scratch of at least CombineScratchLen words (contents ignored and
+// clobbered). It performs no allocation and touches no shared mutable
+// state, so concurrent calls with distinct scratch are safe.
+func (b *Basis) CombineCenteredFloatScratch(limbs []uint64, scale float64, scratch []uint64) float64 {
+	if len(limbs) != b.K() {
+		panic("rns: residue count mismatch")
+	}
+	f := b.fast
+	w := f.words
+	acc := scratch[:w+1]
+	clear(acc)
+	for i := range limbs {
+		m := b.Moduli[i]
+		c := m.BarrettMul(limbs[i]%m.Q, b.qiHatInv[i])
+		if c != 0 {
+			// acc += qiHat_i · c (scalar multiply-accumulate, carry chain
+			// spilling into the guard word).
+			row := f.qhat[i*w : (i+1)*w]
+			var carry, cc uint64
+			for j := 0; j < w; j++ {
+				hi, lo := bits.Mul64(row[j], c)
+				lo, cc = bits.Add64(lo, carry, 0)
+				hi += cc
+				acc[j], cc = bits.Add64(acc[j], lo, 0)
+				carry = hi + cc
+			}
+			acc[w] += carry
+		}
+		// Each term is < Q and acc was < Q, so acc < 2Q: one conditional
+		// subtraction restores acc < Q (and clears the guard word).
+		if acc[w] != 0 || !wordsLess(acc[:w], f.q) {
+			var borrow uint64
+			for j := 0; j < w; j++ {
+				acc[j], borrow = bits.Sub64(acc[j], f.q[j], borrow)
+			}
+			acc[w] -= borrow
+		}
+	}
+	// Centered lift: values above floor(Q/2) represent negatives (Q is odd,
+	// so acc == floor(Q/2) is still positive — same convention as the
+	// big.Int oracle's Cmp(halfQ) > 0 test).
+	neg := false
+	if wordsGreater(acc[:w], f.halfQ) {
+		neg = true
+		var borrow uint64
+		for j := 0; j < w; j++ {
+			acc[j], borrow = bits.Sub64(f.q[j], acc[j], borrow)
+		}
+	}
+	v := wordsToFloat(acc[:w])
+	if neg {
+		v = -v
+	}
+	return v / scale
+}
+
+// wordsLess reports a < b for equal-length little-endian words.
+func wordsLess(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// wordsGreater reports a > b for equal-length little-endian words.
+func wordsGreater(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}
+
+// wordsToFloat converts a little-endian word vector to float64 using its
+// top three words (≤ 192 bits of significance; truncation below that is
+// ≤ 2^-64 relative, far inside float64 rounding).
+func wordsToFloat(w []uint64) float64 {
+	t := len(w) - 1
+	for t >= 0 && w[t] == 0 {
+		t--
+	}
+	if t < 0 {
+		return 0
+	}
+	f := float64(w[t])
+	exp := t * 64
+	for k := 1; k <= 2 && t-k >= 0; k++ {
+		f = f*0x1p64 + float64(w[t-k])
+		exp -= 64
+	}
+	return math.Ldexp(f, exp)
+}

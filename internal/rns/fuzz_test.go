@@ -1,0 +1,60 @@
+package rns
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fuzzBases are the chains the fuzzer sweeps: a tiny hand-picked basis,
+// the Test-preset chain, and the paper's full 24-limb PN16 chain. Built
+// once — fuzz iterations must stay cheap.
+var fuzzBases = sync.OnceValue(func() []*Basis {
+	return []*Basis{
+		MustBasis([]uint64{97, 193, 257}),
+		presetBasis(4, 36, 10),
+		presetBasis(24, 36, 16),
+	}
+})
+
+// splitmix64 is the standard 64-bit mixer — deterministic limb derivation
+// from the fuzz inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// FuzzCombineCentered drives fuzz-derived residue vectors through the fast
+// combine and the big.Int oracle at every level of every fuzz basis,
+// asserting float agreement and the exact expand round trip (the
+// checkAgreement property from fastcrt_test.go).
+func FuzzCombineCentered(f *testing.F) {
+	f.Add(uint64(0), uint64(0), []byte{})
+	f.Add(uint64(1), uint64(2), []byte{0xFF, 0x00, 0xAB})
+	f.Add(uint64(0xDEADBEEF), uint64(42), []byte{7, 7, 7, 7, 7, 7, 7, 7})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4; i++ {
+		raw := make([]byte, 8+rng.Intn(64))
+		rng.Read(raw)
+		f.Add(rng.Uint64(), rng.Uint64(), raw)
+	}
+	f.Fuzz(func(t *testing.T, s1, s2 uint64, raw []byte) {
+		for _, full := range fuzzBases() {
+			limbs := make([]uint64, full.K())
+			for level := 1; level <= full.K(); level++ {
+				b := full.Sub(level)
+				x := s1
+				for i := range limbs[:level] {
+					x = splitmix64(x + s2)
+					if len(raw) > 0 {
+						x ^= uint64(raw[i%len(raw)]) << (8 * uint(i%8))
+					}
+					limbs[i] = x // unreduced on purpose: combine must reduce
+				}
+				checkAgreement(t, b, limbs[:level])
+			}
+		}
+	})
+}

@@ -6,17 +6,26 @@
 // The paper's configuration uses the double-scale technique [1]: 36-bit
 // primes with the number of limbs doubled (24 limbs standing in for 12
 // ~72-bit levels), keeping the hardware datapath at 44 bits.
+//
+// Reconstruction comes in two forms: the exact big.Int path
+// (CombineCentered — the reference oracle, now running on pooled scratch)
+// and the allocation-free word-arithmetic path the decode hot loop uses
+// (CombineCenteredFloatScratch, see fastcrt.go).
 package rns
 
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/mod"
 )
 
 // Basis is an RNS basis: a list of pairwise-coprime word-sized primes with
-// the constants needed for expansion and CRT reconstruction.
+// the constants needed for expansion and CRT reconstruction. All fields
+// are immutable after NewBasis; the scratch pool and sub-basis cache are
+// internally synchronized, so a Basis is safe for concurrent use. Always
+// share a Basis by pointer (it owns sync primitives).
 type Basis struct {
 	Moduli []mod.Modulus
 	Q      *big.Int // product of all moduli
@@ -25,6 +34,23 @@ type Basis struct {
 	qiHat    []*big.Int
 	qiHatInv []uint64
 	halfQ    *big.Int // Q/2, for centered lifts
+
+	fast *fastCRT // word-level tables for the allocation-free combine
+
+	scratch sync.Pool // *bigScratch, reused by the exact big.Int paths
+
+	subMu sync.Mutex
+	subs  map[int]*Basis // memoized prefix sub-bases (level views)
+}
+
+// bigScratch is the reusable temporary set of the exact paths. Each
+// big.Int grows to its steady-state capacity on first use and is then
+// recycled through the basis pool, so ExpandBig/CombineCentered stop
+// churning the GC on every call.
+type bigScratch struct {
+	term big.Int
+	quo  big.Int
+	rem  big.Int
 }
 
 // NewBasis builds a basis from the given primes (all distinct, odd).
@@ -50,6 +76,8 @@ func NewBasis(primes []uint64) (*Basis, error) {
 		b.qiHatInv[i] = m.Inv(hatMod)
 	}
 	b.halfQ = new(big.Int).Rsh(b.Q, 1)
+	b.fast = newFastCRT(b)
+	b.scratch.New = func() any { return new(bigScratch) }
 	return b, nil
 }
 
@@ -75,12 +103,27 @@ func (b *Basis) Primes() []uint64 {
 }
 
 // Sub returns the prefix sub-basis with the first k limbs — how CKKS
-// levels shrink: a level-l ciphertext lives in the first l limbs.
+// levels shrink: a level-l ciphertext lives in the first l limbs. Views
+// are memoized per basis, so repeated level lookups (ring.AtLevel) pay
+// the big.Int/fast-table construction once.
 func (b *Basis) Sub(k int) *Basis {
 	if k < 1 || k > b.K() {
 		panic("rns: sub-basis size out of range")
 	}
-	return MustBasis(b.Primes()[:k])
+	if k == b.K() {
+		return b
+	}
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
+	if s, ok := b.subs[k]; ok {
+		return s
+	}
+	s := MustBasis(b.Primes()[:k])
+	if b.subs == nil {
+		b.subs = make(map[int]*Basis)
+	}
+	b.subs[k] = s
+	return s
 }
 
 // ExpandInt64 reduces a signed value into every limb.
@@ -93,42 +136,57 @@ func (b *Basis) ExpandInt64(v int64, out []uint64) {
 // ExpandBig reduces a signed big integer into every limb (centered
 // semantics: negative values wrap to q - |v| mod q).
 func (b *Basis) ExpandBig(v *big.Int, out []uint64) {
-	var t big.Int
+	sc := b.scratch.Get().(*bigScratch)
+	mw, quo, rem := &sc.term, &sc.quo, &sc.rem
 	for i, m := range b.Moduli {
-		t.Mod(v, t.SetUint64(m.Q))
-		r := t.Uint64()
-		// big.Int.Mod returns non-negative results already, but guard the
-		// semantics explicitly for readability.
-		out[i] = r % m.Q
+		// QuoRem instead of Mod: all three big.Ints come from the pooled
+		// scratch and keep their grown capacity, so the per-limb divisions
+		// stop allocating in steady state. The truncated remainder carries
+		// v's sign; FromCentered restores the non-negative representative.
+		mw.SetUint64(m.Q)
+		quo.QuoRem(v, mw, rem)
+		out[i] = m.FromCentered(rem.Int64())
 	}
+	b.scratch.Put(sc)
 }
 
 // CombineCentered reconstructs the centered representative in
-// (-Q/2, Q/2] of the residue vector limbs (one residue per limb).
+// (-Q/2, Q/2] of the residue vector limbs (one residue per limb). This is
+// the exact reference path — the oracle the fast combine is verified
+// against; only the returned big.Int is allocated.
 func (b *Basis) CombineCentered(limbs []uint64) *big.Int {
+	return b.CombineCenteredInto(new(big.Int), limbs)
+}
+
+// CombineCenteredInto is CombineCentered writing into out (returned for
+// chaining). With a reused out it allocates nothing in steady state.
+func (b *Basis) CombineCenteredInto(out *big.Int, limbs []uint64) *big.Int {
 	if len(limbs) != b.K() {
 		panic("rns: residue count mismatch")
 	}
-	acc := new(big.Int)
-	var term big.Int
+	sc := b.scratch.Get().(*bigScratch)
+	term := &sc.term
+	out.SetInt64(0)
 	for i, m := range b.Moduli {
 		// term = qiHat[i] * ((limb * qiHatInv[i]) mod qi)
 		c := m.Mul(limbs[i]%m.Q, b.qiHatInv[i])
 		term.SetUint64(c)
-		term.Mul(&term, b.qiHat[i])
-		acc.Add(acc, &term)
+		term.Mul(term, b.qiHat[i])
+		out.Add(out, term)
 	}
-	acc.Mod(acc, b.Q)
-	if acc.Cmp(b.halfQ) > 0 {
-		acc.Sub(acc, b.Q)
+	out.Mod(out, b.Q)
+	if out.Cmp(b.halfQ) > 0 {
+		out.Sub(out, b.Q)
 	}
-	return acc
+	b.scratch.Put(sc)
+	return out
 }
 
-// CombineCenteredFloat reconstructs the centered value and converts it to
-// float64 after dividing by scale — the decode hot path (avoids big.Float
-// in the caller).
-func (b *Basis) CombineCenteredFloat(limbs []uint64, scale float64) float64 {
+// CombineCenteredFloatBig reconstructs the centered value exactly and
+// converts it to float64 after dividing by scale — the big.Int/big.Float
+// reference the fast path (CombineCenteredFloat, fastcrt.go) is tested
+// against. Not for hot loops.
+func (b *Basis) CombineCenteredFloatBig(limbs []uint64, scale float64) float64 {
 	v := b.CombineCentered(limbs)
 	f := new(big.Float).SetInt(v)
 	f.Quo(f, big.NewFloat(scale))
