@@ -5,29 +5,37 @@
 //
 // Two layers are exposed:
 //
-//   - Client: a working CKKS client (encode/encrypt/decrypt/decode over
+//   - A role-separated CKKS deployment (encode/encrypt/decrypt/decode over
 //     bootstrappable parameter sets, N = 2^13..2^16, 36-bit double-scale
-//     RNS chains) built entirely from this repository's substrates.
+//     RNS chains) built entirely from this repository's substrates. Three
+//     parties mirror the paper's asymmetric deployment: KeyOwner (secret
+//     key: keygen, decrypt+decode, seeded uploads, key export), Encryptor
+//     (public-key-only encoding devices) and Server (keyless evaluation).
+//     Parties on different machines exchange nothing but bytes — packed
+//     wire formats for ciphertexts, compressed uploads, and keys.
 //   - Accelerator: the modeled ABC-FHE chip — cycle-level latency,
 //     throughput, and the 28 nm area/power composition — plus every
 //     experiment of the paper's evaluation section (see Experiments).
+//
+// Misuse of the public surface (bad lengths, wrong levels, malformed
+// bytes, unknown presets) returns typed errors (see errors.go); panics
+// are reserved for internal invariants. The legacy Client type remains as
+// a deprecated facade composed of the three roles.
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package abcfhe
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/ckks"
 	"repro/internal/core"
 	"repro/internal/fftfp"
-	"repro/internal/prng"
 )
 
 // ---------------------------------------------------------------------
-// Functional CKKS client
+// Parameter presets
 // ---------------------------------------------------------------------
 
 // Preset names a parameter set.
@@ -46,6 +54,9 @@ const (
 	Test Preset = "Test"
 )
 
+// Presets lists every preset name, largest first.
+func Presets() []Preset { return []Preset{PN16, PN15, PN14, PN13, Test} }
+
 func (p Preset) spec() (ckks.ParamSpec, error) {
 	switch p {
 	case PN16:
@@ -59,42 +70,7 @@ func (p Preset) spec() (ckks.ParamSpec, error) {
 	case Test:
 		return ckks.TestParams, nil
 	}
-	return ckks.ParamSpec{}, fmt.Errorf("abcfhe: unknown preset %q", p)
-}
-
-// Client bundles keys and engines for the client-side CKKS workflow the
-// accelerator targets: Encode+Encrypt outbound, Decrypt+Decode inbound.
-//
-// All client operations are safe for concurrent use, and the limb-wise
-// kernels underneath fan out across a lane engine — the software
-// counterpart of the paper's PNL lanes (configure it with WithWorkers).
-type Client struct {
-	params    *ckks.Parameters
-	encoder   *ckks.Encoder
-	encryptor *ckks.Encryptor
-	decryptor *ckks.Decryptor
-	evaluator *ckks.Evaluator
-	secret    *ckks.SecretKey
-	public    *ckks.PublicKey
-	seeded    *ckks.SeededEncryptor
-	seedOnce  sync.Once
-	seedCopy  [16]byte
-}
-
-// ClientOption configures a Client at construction.
-type ClientOption func(*clientConfig)
-
-type clientConfig struct {
-	workers int
-}
-
-// WithWorkers sizes the client's lane engine to n parallel workers — the
-// software mirror of the paper's per-PNL lane count that Fig. 5b sweeps
-// in hardware. n <= 0 (and the default) selects GOMAXPROCS; n = 1 forces
-// the fully serial path. Any worker count produces bit-identical
-// ciphertexts for the same seed.
-func WithWorkers(n int) ClientOption {
-	return func(c *clientConfig) { c.workers = n }
+	return ckks.ParamSpec{}, fmt.Errorf("%w: %q", ErrUnknownPreset, p)
 }
 
 // Ciphertext is an encrypted message (RLWE pair in the coefficient
@@ -104,129 +80,155 @@ type Ciphertext = ckks.Ciphertext
 // Plaintext is an encoded (but unencrypted) message.
 type Plaintext = ckks.Plaintext
 
+// ---------------------------------------------------------------------
+// Deprecated single-process facade
+// ---------------------------------------------------------------------
+
+// Client bundles all three deployment roles in one process: a KeyOwner, an
+// Encryptor built on the owner's public key, and a Server — sharing one
+// parameter set. It predates the role separation and is kept so existing
+// code continues to work.
+//
+// Deprecated: use KeyOwner, Encryptor and Server directly — they return
+// typed errors where Client's v0 methods panic on misuse, and they model
+// which machine holds which material. Client remains a thin composition
+// of the three.
+type Client struct {
+	owner *KeyOwner
+	enc   *Encryptor
+	srv   *Server
+}
+
 // NewClient builds a client for the preset with a 128-bit seed (all key
-// material and encryption randomness derive deterministically from it —
-// the property the accelerator's on-chip PRNG exploits). Options tune the
-// execution engine; the cryptographic output never depends on them.
-func NewClient(preset Preset, seedLo, seedHi uint64, opts ...ClientOption) (*Client, error) {
-	spec, err := preset.spec()
+// material and public-key encryption randomness derive deterministically
+// from it — the property the accelerator's on-chip PRNG exploits).
+// Options tune the execution engine; the cryptographic output never
+// depends on them. Exception: EncodeEncryptCompressed draws a fresh
+// per-instance stream base (see NewKeyOwner), so compressed uploads are
+// not byte-reproducible across Client instances.
+func NewClient(preset Preset, seedLo, seedHi uint64, opts ...Option) (*Client, error) {
+	owner, err := NewKeyOwner(preset, seedLo, seedHi, opts...)
 	if err != nil {
 		return nil, err
 	}
-	params, err := spec.Build()
-	if err != nil {
-		return nil, err
-	}
-	var cfg clientConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.workers != 0 {
-		params.SetWorkers(cfg.workers)
-	}
-	seed := prng.SeedFromUint64s(seedLo, seedHi)
-	kg := ckks.NewKeyGenerator(params, seed)
-	sk, pk := kg.GenKeyPair()
 	return &Client{
-		params:    params,
-		encoder:   ckks.NewEncoder(params),
-		encryptor: ckks.NewEncryptor(params, pk, seed),
-		decryptor: ckks.NewDecryptor(params, sk),
-		evaluator: ckks.NewEvaluator(params),
-		secret:    sk,
-		public:    pk,
-		seedCopy:  seed,
+		owner: owner,
+		enc:   newEncryptor(owner.params, owner.public, owner.seed, false),
+		srv:   newServer(owner.params, false),
 	}, nil
 }
 
+// must preserves the v0 facade contract: misuse panics. The role methods
+// underneath return the typed error instead.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// KeyOwner returns the facade's key-owning role.
+func (c *Client) KeyOwner() *KeyOwner { return c.owner }
+
+// Encryptor returns the facade's encrypting-device role.
+func (c *Client) Encryptor() *Encryptor { return c.enc }
+
+// Server returns the facade's evaluation role.
+func (c *Client) Server() *Server { return c.srv }
+
 // Slots returns the number of complex message slots (N/2).
-func (c *Client) Slots() int { return c.params.Slots() }
+func (c *Client) Slots() int { return c.owner.Slots() }
 
 // MaxLevel returns the RNS depth fresh ciphertexts carry.
-func (c *Client) MaxLevel() int { return c.params.MaxLevel() }
+func (c *Client) MaxLevel() int { return c.owner.MaxLevel() }
 
 // Workers reports the lane count client kernels fan out across.
-func (c *Client) Workers() int { return c.params.Workers() }
+func (c *Client) Workers() int { return c.owner.Workers() }
 
 // Close releases the client's private lane engine, if WithWorkers
 // installed one. The client must be idle; using it afterwards falls back
 // to the shared default engine.
-func (c *Client) Close() { c.params.Close() }
+func (c *Client) Close() { c.owner.params.Close() }
 
 // EncodeEncrypt runs the outbound client pipeline: IFFT encoding, RNS
-// expansion, and public-key encryption at full depth. The intermediate
-// plaintext's storage is recycled, so the steady-state pipeline allocates
-// only the returned ciphertext.
+// expansion, and public-key encryption at full depth.
 func (c *Client) EncodeEncrypt(msg []complex128) *Ciphertext {
-	pt := c.encoder.Encode(msg)
-	ct := c.encryptor.Encrypt(pt)
-	c.params.PutPlaintext(pt)
-	return ct
+	return must(c.enc.EncodeEncrypt(msg))
 }
 
 // DecryptDecode runs the inbound pipeline: decryption at the ciphertext's
-// level, allocation-free CRT combination (word-arithmetic centered lifts,
-// no big.Int) and FFT decoding.
+// level, allocation-free CRT combination and FFT decoding.
 func (c *Client) DecryptDecode(ct *Ciphertext) []complex128 {
-	return c.DecryptDecodeInto(ct, make([]complex128, c.params.Slots()))
+	return must(c.owner.DecryptDecode(ct))
 }
 
 // DecryptDecodeInto is DecryptDecode writing into a caller-provided slot
-// buffer of length Slots() (returned for chaining). With a reused buffer
-// the steady-state inbound pipeline allocates only transient bookkeeping —
-// the inbound mirror of EncodeEncrypt's recycled plaintexts.
+// buffer of length Slots() (returned for chaining).
 func (c *Client) DecryptDecodeInto(ct *Ciphertext, out []complex128) []complex128 {
-	pt := c.decryptor.Decrypt(ct)
-	c.encoder.DecodeInto(pt, out)
-	c.params.PutPlaintext(pt)
-	return out
+	return must(c.owner.DecryptDecodeInto(ct, out))
 }
 
 // EncodeEncryptBatch runs the outbound pipeline over a whole batch,
-// fanning the messages out across the lane engine (each message then
-// fans its own limb work out onto idle lanes). Encode and encrypt are
-// fused per message, so only in-flight messages hold scratch. PRNG
-// stream windows are reserved by batch index, so the result is
+// fanning the messages out across the lane engine. The result is
 // bit-identical to calling EncodeEncrypt on each message in order — at
 // any worker count.
 func (c *Client) EncodeEncryptBatch(msgs [][]complex128) []*Ciphertext {
-	return c.encryptor.EncryptBatchFrom(len(msgs), func(i int) *Plaintext {
-		return c.encoder.Encode(msgs[i])
-	})
+	return must(c.enc.EncodeEncryptBatch(msgs))
 }
 
 // DecryptDecodeBatch runs the inbound pipeline over a whole batch in
-// parallel (the decryptor is stateless, so messages are independent).
+// parallel.
 func (c *Client) DecryptDecodeBatch(cts []*Ciphertext) [][]complex128 {
-	return c.DecryptDecodeBatchInto(cts, make([][]complex128, len(cts)))
+	return must(c.owner.DecryptDecodeBatch(cts))
 }
 
-// DecryptDecodeBatchInto is DecryptDecodeBatch writing into caller-provided
-// slot buffers: out must have len(cts) entries; nil entries are allocated,
-// non-nil entries (length Slots()) are reused in place. Whole messages fan
-// out across the lane engine and each message's Combine-CRT stage then fans
-// its coefficient blocks onto idle lanes, so a served batch keeps every
-// lane busy with zero steady-state allocation. Results are bit-identical
-// to sequential DecryptDecode calls at any worker count.
+// DecryptDecodeBatchInto is DecryptDecodeBatch writing into
+// caller-provided slot buffers; nil entries are allocated, non-nil
+// entries (length Slots()) are reused in place.
 func (c *Client) DecryptDecodeBatchInto(cts []*Ciphertext, out [][]complex128) [][]complex128 {
-	if len(out) != len(cts) {
-		panic("abcfhe: batch output must have one entry per ciphertext")
-	}
-	c.params.Ring().Engine().Run(len(cts), func(i int) {
-		if out[i] == nil {
-			out[i] = make([]complex128, c.params.Slots())
-		}
-		c.DecryptDecodeInto(cts[i], out[i])
-	})
-	return out
+	return must(c.owner.DecryptDecodeBatchInto(cts, out))
 }
 
 // Encode encodes without encrypting (plaintext-side tooling).
-func (c *Client) Encode(msg []complex128) *Plaintext { return c.encoder.Encode(msg) }
+func (c *Client) Encode(msg []complex128) *Plaintext {
+	return must(c.enc.Encode(msg))
+}
 
 // Evaluator exposes keyless homomorphic operations (add, sub, plaintext
 // multiply, rescale, level drop) for server-side simulation in examples.
-func (c *Client) Evaluator() *ckks.Evaluator { return c.evaluator }
+func (c *Client) Evaluator() *ckks.Evaluator { return c.srv.Evaluator() }
+
+// SerializeCiphertext encodes ct in the packed 44-bit wire format — the
+// exact byte stream the accelerator's DRAM/wire accounting charges.
+func (c *Client) SerializeCiphertext(ct *Ciphertext) ([]byte, error) {
+	return c.owner.SerializeCiphertext(ct)
+}
+
+// DeserializeCiphertext reverses SerializeCiphertext, validating every
+// residue against the parameter set.
+func (c *Client) DeserializeCiphertext(data []byte) (*Ciphertext, error) {
+	return c.owner.DeserializeCiphertext(data)
+}
+
+// EncodeEncryptCompressed runs the seeded upload path: encode, encrypt
+// with a PRNG-derived mask, and serialize only (c0, 16-byte seed) — about
+// half the bytes of a full ciphertext.
+func (c *Client) EncodeEncryptCompressed(msg []complex128) ([]byte, error) {
+	return c.owner.EncodeEncryptCompressed(msg)
+}
+
+// ExpandCompressedUpload is the server-side inverse: parse the compressed
+// form and regenerate c1 from the embedded seed. No key material needed.
+func (c *Client) ExpandCompressedUpload(data []byte) (*Ciphertext, error) {
+	return c.srv.ExpandCompressedUpload(data)
+}
+
+// CiphertextWireBytes reports the packed wire size of a full ciphertext
+// at the given level; CompressedWireBytes the seeded form's size.
+func (c *Client) CiphertextWireBytes(level int) int { return c.owner.params.CiphertextWireBytes(level) }
+
+// CompressedWireBytes reports the seeded upload's wire size at a level.
+func (c *Client) CompressedWireBytes(level int) int { return c.owner.params.SeededWireBytes(level) }
 
 // ---------------------------------------------------------------------
 // Modeled accelerator
@@ -284,50 +286,3 @@ func RunExperiment(id string, fast bool) (string, error) {
 // uses (paper Fig. 3c: ≥43 bits keeps bootstrapping precision above the
 // 19.29-bit threshold).
 const FP55MantissaBits = fftfp.FP55Mantissa
-
-// ---------------------------------------------------------------------
-// Wire formats and compressed uploads
-// ---------------------------------------------------------------------
-
-// SerializeCiphertext encodes ct in the packed 44-bit wire format — the
-// exact byte stream the accelerator's DRAM/wire accounting charges.
-func (c *Client) SerializeCiphertext(ct *Ciphertext) ([]byte, error) {
-	return c.params.MarshalCiphertext(ct, true)
-}
-
-// DeserializeCiphertext reverses SerializeCiphertext, validating every
-// residue against the parameter set.
-func (c *Client) DeserializeCiphertext(data []byte) (*Ciphertext, error) {
-	return c.params.UnmarshalCiphertext(data)
-}
-
-// EncodeEncryptCompressed runs the seeded upload path: encode, encrypt
-// with a PRNG-derived mask, and serialize only (c0, 16-byte seed) — about
-// half the bytes of a full ciphertext. The key owner's secret key is used
-// (seeded encryption is the fresh-upload form).
-func (c *Client) EncodeEncryptCompressed(msg []complex128) ([]byte, error) {
-	c.seedOnce.Do(func() {
-		c.seeded = ckks.NewSeededEncryptor(c.params, c.secret, c.seedCopy)
-	})
-	pt := c.encoder.Encode(msg)
-	sct := c.seeded.Encrypt(pt)
-	c.params.PutPlaintext(pt)
-	return c.params.MarshalSeeded(sct)
-}
-
-// ExpandCompressedUpload is the server-side inverse: parse the compressed
-// form and regenerate c1 from the embedded seed. No key material needed.
-func (c *Client) ExpandCompressedUpload(data []byte) (*Ciphertext, error) {
-	sct, err := c.params.UnmarshalSeeded(data)
-	if err != nil {
-		return nil, err
-	}
-	return c.params.Expand(sct), nil
-}
-
-// CiphertextWireBytes reports the packed wire size of a full ciphertext
-// at the given level; CompressedWireBytes the seeded form's size.
-func (c *Client) CiphertextWireBytes(level int) int { return c.params.CiphertextWireBytes(level) }
-
-// CompressedWireBytes reports the seeded upload's wire size at a level.
-func (c *Client) CompressedWireBytes(level int) int { return c.params.SeededWireBytes(level) }

@@ -1,3 +1,8 @@
+// Compatibility tests for the deprecated Client facade: the v0 surface
+// must keep working (and keep its panic-on-misuse semantics) on top of
+// the role-separated implementation. Role-level coverage lives in
+// roles_test.go / errors_test.go.
+
 package abcfhe
 
 import (
@@ -53,6 +58,34 @@ func TestUnknownPreset(t *testing.T) {
 	if _, err := NewClient(Preset("bogus"), 0, 0); err == nil {
 		t.Fatal("unknown preset must error")
 	}
+}
+
+// TestClientFacadePanicsOnMisuse pins the v0 contract: where the role
+// types return typed errors, the deprecated facade panics.
+func TestClientFacadePanicsOnMisuse(t *testing.T) {
+	c, err := NewClient(Test, 15, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: facade misuse must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("EncodeEncrypt too long", func() {
+		c.EncodeEncrypt(make([]complex128, c.Slots()+1))
+	})
+	mustPanic("DecryptDecode nil", func() {
+		c.DecryptDecode(nil)
+	})
+	mustPanic("BatchInto mis-sized", func() {
+		ct := c.EncodeEncrypt([]complex128{0.5})
+		c.DecryptDecodeBatchInto([]*Ciphertext{ct}, make([][]complex128, 2))
+	})
 }
 
 func TestAcceleratorSummary(t *testing.T) {

@@ -1,9 +1,21 @@
-// Command abc-fhe runs the client-side CKKS workflow both functionally
-// (the from-scratch Go implementation) and on the modeled accelerator,
-// printing a side-by-side card: correctness/precision from the real
-// computation, latency/area/power from the model.
+// Command abc-fhe drives the client-side CKKS workflow.
 //
-// Usage:
+// Without a subcommand it prints the demo card: the workflow run both
+// functionally (the from-scratch Go implementation) and on the modeled
+// accelerator — correctness/precision from the real computation,
+// latency/area/power from the model.
+//
+// The subcommands operate the role-separated deployment on key and
+// ciphertext files, so the three parties can run in three separate
+// processes (or machines):
+//
+//	abc-fhe keygen  -preset Test -pk pk.key -sk sk.key     # key owner
+//	abc-fhe encrypt -pk pk.key -in msg.txt -out ct.bin     # device (public key only)
+//	abc-fhe decrypt -sk sk.key -in ct.bin                  # key owner
+//
+// Message files hold one complex value per line: "re" or "re im".
+//
+// Demo usage:
 //
 //	abc-fhe                 # Test preset (fast)
 //	abc-fhe -preset PN16    # the paper's evaluation parameters (slow on CPU)
@@ -11,32 +23,320 @@
 package main
 
 import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	abcfhe "repro"
 )
 
 func main() {
-	preset := flag.String("preset", "Test", "parameter preset: Test, PN13..PN16")
-	slots := flag.Int("slots", 0, "message slots to fill (0 = all)")
-	workers := flag.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
-	flag.Parse()
-
-	client, err := abcfhe.NewClient(abcfhe.Preset(*preset), 0x0123456789ABCDEF, 0xFEDCBA9876543210,
-		abcfhe.WithWorkers(*workers))
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
+		fmt.Println("subcommands: demo (default), keygen, encrypt, decrypt")
+		fmt.Println("run `abc-fhe <subcommand> -h` for that subcommand's flags")
+		return
+	}
+	var err error
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch cmd := args[0]; cmd {
+		case "demo":
+			err = runDemo(args[1:])
+		case "keygen":
+			err = runKeygen(args[1:])
+		case "encrypt":
+			err = runEncrypt(args[1:])
+		case "decrypt":
+			err = runDecrypt(args[1:])
+		default:
+			err = fmt.Errorf("unknown subcommand %q (try: demo, keygen, encrypt, decrypt)", cmd)
+		}
+	} else {
+		err = runDemo(args)
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		return // `abc-fhe <subcommand> -h` printed usage; that's success
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abc-fhe:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveSeed returns (lo, hi) for a party's 128-bit seed: the flag
+// values when the user set either flag (reproducible runs), fresh
+// crypto/rand words otherwise — fixed default seeds would hand every
+// default keygen the same secret key and every default encrypt the same
+// mask stream.
+func resolveSeed(fs *flag.FlagSet, lo, hi uint64) (uint64, uint64, error) {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed-lo" || f.Name == "seed-hi" {
+			set = true
+		}
+	})
+	if set {
+		return lo, hi, nil
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return 0, 0, fmt.Errorf("seeding from crypto/rand: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:8]), binary.LittleEndian.Uint64(buf[8:]), nil
+}
+
+// ---------------------------------------------------------------------
+// keygen / encrypt / decrypt — the three parties on files
+// ---------------------------------------------------------------------
+
+func runKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	preset := fs.String("preset", "Test", "parameter preset: Test, PN13..PN16")
+	seedLo := fs.Uint64("seed-lo", 0, "low 64 bits of the key seed (default: crypto/rand)")
+	seedHi := fs.Uint64("seed-hi", 0, "high 64 bits of the key seed (default: crypto/rand)")
+	pkPath := fs.String("pk", "pk.key", "output path for the public-key blob")
+	skPath := fs.String("sk", "sk.key", "output path for the secret-key blob (keep private)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lo, hi, err := resolveSeed(fs, *seedLo, *seedHi)
+	if err != nil {
+		return err
+	}
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Preset(*preset), lo, hi)
+	if err != nil {
+		return err
+	}
+	pk, err := owner.ExportPublicKey()
+	if err != nil {
+		return err
+	}
+	sk, err := owner.ExportSecretKey()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*pkPath, pk, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*skPath, sk, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("keygen %s: public key %d bytes -> %s, secret key %d bytes -> %s\n",
+		*preset, len(pk), *pkPath, len(sk), *skPath)
+	return nil
+}
+
+func runEncrypt(args []string) error {
+	fs := flag.NewFlagSet("encrypt", flag.ContinueOnError)
+	pkPath := fs.String("pk", "pk.key", "public-key blob from `abc-fhe keygen`")
+	inPath := fs.String("in", "", "message file (one complex value per line: \"re\" or \"re im\")")
+	outPath := fs.String("out", "ct.bin", "output path for the ciphertext")
+	seedLo := fs.Uint64("seed-lo", 0, "low 64 bits of this device's randomness seed (default: crypto/rand)")
+	seedHi := fs.Uint64("seed-hi", 0, "high 64 bits of this device's randomness seed (default: crypto/rand)")
+	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("encrypt: -in message file required")
+	}
+
+	pkBytes, err := os.ReadFile(*pkPath)
+	if err != nil {
+		return err
+	}
+	// A fresh random seed per process unless pinned: each invocation
+	// restarts the stream counter at 0, so a reused seed would reuse
+	// mask/error streams across uploads.
+	lo, hi, err := resolveSeed(fs, *seedLo, *seedHi)
+	if err != nil {
+		return err
+	}
+	// The device role: built from public-key bytes alone.
+	enc, err := abcfhe.NewEncryptor(pkBytes, lo, hi, abcfhe.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	defer enc.Close()
+
+	msg, err := readMessageFile(*inPath)
+	if err != nil {
+		return err
+	}
+	ct, err := enc.EncodeEncrypt(msg)
+	if err != nil {
+		return err
+	}
+	data, err := enc.SerializeCiphertext(ct)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("encrypt: %d values -> depth-%d ciphertext, %d bytes -> %s\n",
+		len(msg), ct.Level, len(data), *outPath)
+	return nil
+}
+
+func runDecrypt(args []string) error {
+	fs := flag.NewFlagSet("decrypt", flag.ContinueOnError)
+	skPath := fs.String("sk", "sk.key", "secret-key blob from `abc-fhe keygen`")
+	inPath := fs.String("in", "ct.bin", "ciphertext file")
+	outPath := fs.String("out", "", "output message file (default: print to stdout)")
+	n := fs.Int("n", 0, "slots to emit (0 = all)")
+	expect := fs.String("expect", "", "message file to verify the decryption against")
+	tol := fs.Float64("tol", 1e-4, "max |error| allowed with -expect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	skBytes, err := os.ReadFile(*skPath)
+	if err != nil {
+		return err
+	}
+	owner, err := abcfhe.NewKeyOwnerFromSecretKey(skBytes)
+	if err != nil {
+		return err
+	}
+	defer owner.Close()
+
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	ct, err := owner.DeserializeCiphertext(data)
+	if err != nil {
+		return err
+	}
+	slots, err := owner.DecryptDecode(ct)
+	if err != nil {
+		return err
+	}
+	// -expect verifies against the full decryption; -n only trims output.
+	if *expect != "" {
+		want, err := readMessageFile(*expect)
+		if err != nil {
+			return err
+		}
+		if len(want) > len(slots) {
+			return fmt.Errorf("decrypt: -expect has %d values, only %d slots", len(want), len(slots))
+		}
+		var worst float64
+		for i := range want {
+			if e := cmplx.Abs(slots[i] - want[i]); e > worst {
+				worst = e
+			}
+		}
+		if worst > *tol {
+			return fmt.Errorf("decrypt: verification failed: max error %g > tol %g", worst, *tol)
+		}
+		fmt.Printf("decrypt: verified %d values, max error %.3g (tol %g)\n", len(want), worst, *tol)
+		if *outPath == "" {
+			return nil
+		}
+	}
+	if *n > 0 && *n < len(slots) {
+		slots = slots[:*n]
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	for _, z := range slots {
+		fmt.Fprintf(w, "%.17g %.17g\n", real(z), imag(z))
+	}
+	return w.Flush()
+}
+
+// readMessageFile parses one complex value per line: "re" or "re im",
+// whitespace-separated. Blank lines and #-comments are skipped.
+func readMessageFile(path string) ([]complex128, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var msg []complex128
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("%s:%d: want \"re\" or \"re im\", got %q", path, lineNo+1, line)
+		}
+		var re, im float64
+		if re, err = strconv.ParseFloat(fields[0], 64); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo+1, err)
+		}
+		if len(fields) == 2 {
+			if im, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo+1, err)
+			}
+		}
+		msg = append(msg, complex(re, im))
+	}
+	if len(msg) == 0 {
+		return nil, fmt.Errorf("%s: no values", path)
+	}
+	return msg, nil
+}
+
+// ---------------------------------------------------------------------
+// demo — the original side-by-side card, on the role types
+// ---------------------------------------------------------------------
+
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	preset := fs.String("preset", "Test", "parameter preset: Test, PN13..PN16")
+	slots := fs.Int("slots", 0, "message slots to fill (0 = all)")
+	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The three parties, wired through exported bytes as if on three
+	// machines: the owner exports a public key, a device encrypts with it,
+	// the server evaluates keylessly, the owner decrypts.
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Preset(*preset), 0x0123456789ABCDEF, 0xFEDCBA9876543210,
+		abcfhe.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	pkBytes, err := owner.ExportPublicKey()
+	if err != nil {
+		return err
+	}
+	device, err := abcfhe.NewEncryptor(pkBytes, 0xD0D0CACA, 0xBEBACAFE, abcfhe.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	server, err := abcfhe.NewServer(abcfhe.Preset(*preset), abcfhe.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
 
 	n := *slots
-	if n <= 0 || n > client.Slots() {
-		n = client.Slots()
+	if n <= 0 || n > device.Slots() {
+		n = device.Slots()
 	}
 	msg := make([]complex128, n)
 	for i := range msg {
@@ -44,17 +344,25 @@ func main() {
 	}
 
 	fmt.Printf("ABC-FHE client workflow — preset %s (slots=%d, depth=%d limbs)\n\n",
-		*preset, client.Slots(), client.MaxLevel())
+		*preset, device.Slots(), device.MaxLevel())
 
 	start := time.Now()
-	ct := client.EncodeEncrypt(msg)
+	ct, err := device.EncodeEncrypt(msg)
+	if err != nil {
+		return err
+	}
 	encDur := time.Since(start)
 
-	ev := client.Evaluator()
-	low := ev.DropLevel(ct, 2) // server returns the 2-limb state
+	low, err := server.DropLevel(ct, 2) // server returns the 2-limb state
+	if err != nil {
+		return err
+	}
 
 	start = time.Now()
-	got := client.DecryptDecode(low)
+	got, err := owner.DecryptDecode(low)
+	if err != nil {
+		return err
+	}
 	decDur := time.Since(start)
 
 	var maxErr float64
@@ -64,7 +372,7 @@ func main() {
 		}
 	}
 
-	fmt.Println("functional (this machine, pure Go):")
+	fmt.Println("functional (this machine, pure Go, three parties over exported bytes):")
 	fmt.Printf("  encode+encrypt: %v\n", encDur)
 	fmt.Printf("  decrypt+decode: %v  (2-limb ciphertext)\n", decDur)
 	fmt.Printf("  round-trip max error: %.3g (%.1f bits of precision)\n\n",
@@ -78,4 +386,5 @@ func main() {
 	fmt.Printf("  area: %.3f mm² @28nm (%.3f mm² @7nm)\n", s.AreaMM2, s.Area7nmMM2)
 	fmt.Printf("  power: %.3f W @28nm (%.3f W @7nm)\n", s.PowerW, s.Power7nmW)
 	fmt.Printf("  client op counts: enc %.1f MOPs, dec %.1f MOPs\n", s.EncMOPs, s.DecMOPs)
+	return nil
 }

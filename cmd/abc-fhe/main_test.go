@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIKeyRoundTrip drives keygen → encrypt → decrypt through the
+// subcommand entry points on real files — each step shares nothing with
+// the previous one except the bytes on disk, the same property the CI
+// step checks across actual processes.
+func TestCLIKeyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pk := filepath.Join(dir, "pk.key")
+	sk := filepath.Join(dir, "sk.key")
+	ct := filepath.Join(dir, "ct.bin")
+	msg := filepath.Join(dir, "msg.txt")
+	out := filepath.Join(dir, "out.txt")
+
+	if err := os.WriteFile(msg, []byte("0.5\n-0.25 0.125\n# comment\n0 -0.75\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runKeygen([]string{"-preset", "Test", "-pk", pk, "-sk", sk}); err != nil {
+		t.Fatal("keygen:", err)
+	}
+	if err := runEncrypt([]string{"-pk", pk, "-in", msg, "-out", ct}); err != nil {
+		t.Fatal("encrypt:", err)
+	}
+	// Self-checking decrypt: -expect verifies against the original message.
+	if err := runDecrypt([]string{"-sk", sk, "-in", ct, "-expect", msg, "-out", out, "-n", "3"}); err != nil {
+		t.Fatal("decrypt:", err)
+	}
+	// -n trims only the output; -expect always sees the full decryption.
+	if err := runDecrypt([]string{"-sk", sk, "-in", ct, "-expect", msg, "-n", "1"}); err != nil {
+		t.Fatal("decrypt -n 1 with longer -expect:", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("decrypt -n 3 wrote %d lines", len(lines))
+	}
+	// The emitted text round-trips through the message parser.
+	back, err := readMessageFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("parsed %d values", len(back))
+	}
+}
+
+// TestCLIKeygenDefaultSeedsAreFresh: without explicit -seed flags every
+// keygen must draw a fresh crypto/rand seed — two default runs may never
+// emit the same key material (a fixed default would hand every user the
+// same secret key).
+func TestCLIKeygenDefaultSeedsAreFresh(t *testing.T) {
+	dir := t.TempDir()
+	paths := func(tag string) (string, string) {
+		return filepath.Join(dir, tag+".pk"), filepath.Join(dir, tag+".sk")
+	}
+	pkA, skA := paths("a")
+	pkB, skB := paths("b")
+	if err := runKeygen([]string{"-preset", "Test", "-pk", pkA, "-sk", skA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runKeygen([]string{"-preset", "Test", "-pk", pkB, "-sk", skB}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(pkA)
+	b, _ := os.ReadFile(pkB)
+	if string(a) == string(b) {
+		t.Fatal("two default keygens produced identical public keys")
+	}
+
+	// Pinned seeds stay reproducible.
+	pkC, skC := paths("c")
+	pkD, skD := paths("d")
+	for _, p := range [][2]string{{pkC, skC}, {pkD, skD}} {
+		if err := runKeygen([]string{"-preset", "Test", "-seed-lo", "5", "-seed-hi", "6",
+			"-pk", p[0], "-sk", p[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := os.ReadFile(pkC)
+	d, _ := os.ReadFile(pkD)
+	if string(c) != string(d) {
+		t.Fatal("pinned seeds must be reproducible")
+	}
+}
+
+// TestCLIDecryptDetectsTamper flips ciphertext bytes on disk and expects
+// the decrypt subcommand to fail cleanly (error, not panic).
+func TestCLIDecryptDetectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	pk := filepath.Join(dir, "pk.key")
+	sk := filepath.Join(dir, "sk.key")
+	ct := filepath.Join(dir, "ct.bin")
+	msg := filepath.Join(dir, "msg.txt")
+
+	if err := os.WriteFile(msg, []byte("0.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runKeygen([]string{"-preset", "Test", "-pk", pk, "-sk", sk}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runEncrypt([]string{"-pk", pk, "-in", msg, "-out", ct}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = data[:len(data)-7] // truncate
+	if err := os.WriteFile(ct, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDecrypt([]string{"-sk", sk, "-in", ct}); err == nil {
+		t.Fatal("truncated ciphertext must fail to decrypt")
+	}
+}
+
+// TestCLIWrongKeyFails ensures decrypt with a different keypair's secret
+// key is either rejected or fails -expect verification — never silently
+// "succeeds".
+func TestCLIWrongKeyFails(t *testing.T) {
+	dir := t.TempDir()
+	pkA := filepath.Join(dir, "a.pk")
+	skA := filepath.Join(dir, "a.sk")
+	skB := filepath.Join(dir, "b.sk")
+	ct := filepath.Join(dir, "ct.bin")
+	msg := filepath.Join(dir, "msg.txt")
+
+	if err := os.WriteFile(msg, []byte("0.5 -0.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runKeygen([]string{"-preset", "Test", "-pk", pkA, "-sk", skA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runKeygen([]string{"-preset", "Test", "-seed-lo", "999", "-seed-hi", "111",
+		"-pk", filepath.Join(dir, "b.pk"), "-sk", skB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runEncrypt([]string{"-pk", pkA, "-in", msg, "-out", ct}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDecrypt([]string{"-sk", skB, "-in", ct, "-expect", msg}); err == nil {
+		t.Fatal("decrypting with the wrong secret key must fail verification")
+	}
+}

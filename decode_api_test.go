@@ -1,9 +1,10 @@
 package abcfhe
 
-// Tests for the lane-parallel decode path at the public-API level: batch
-// vs sequential equivalence, buffer-reuse semantics of the Into variants,
-// worker-count bit-determinism and concurrent-use safety of
-// DecryptDecodeBatch on a shared Client (run with -race; CI does).
+// Tests for the lane-parallel decode path at the public-API level, on the
+// role types: batch vs sequential equivalence, buffer-reuse semantics of
+// the Into variants, worker-count bit-determinism and concurrent-use
+// safety of DecryptDecodeBatch on a shared KeyOwner (run with -race; CI
+// does).
 
 import (
 	"fmt"
@@ -12,18 +13,24 @@ import (
 	"testing"
 )
 
-func decodeTestCiphertexts(t testing.TB, c *Client, n int) ([]*Ciphertext, [][]complex128) {
+// decodeTestCiphertexts encrypts n messages on the device and drops every
+// other ciphertext to the paper's 2-limb return state on the server, so
+// the decode tests exercise every cached level view.
+func decodeTestCiphertexts(t testing.TB, device *Encryptor, server *Server, n int) []*Ciphertext {
 	t.Helper()
-	msgs := laneTestMsgs(c, n)
-	cts := c.EncodeEncryptBatch(msgs)
-	// Mixed levels exercise every cached level view: drop every other
-	// ciphertext to the paper's 2-limb return state.
+	msgs := testMsgs(device.Slots(), n)
+	cts, err := device.EncodeEncryptBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, ct := range cts {
 		if i%2 == 1 {
-			cts[i] = c.Evaluator().DropLevel(ct, 2)
+			if cts[i], err = server.DropLevel(ct, 2); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	return cts, msgs
+	return cts
 }
 
 func slotsEqualBits(a, b []complex128) bool {
@@ -42,15 +49,19 @@ func slotsEqualBits(a, b []complex128) bool {
 // TestDecryptDecodeBatchMatchesSequential: the batch path must emit
 // exactly the slot vectors sequential DecryptDecode calls produce.
 func TestDecryptDecodeBatchMatchesSequential(t *testing.T) {
-	c, err := NewClient(Test, 5, 6)
+	owner, device, server := threeParties(t, Test, 5, 6)
+	cts := decodeTestCiphertexts(t, device, server, 5)
+
+	batch, err := owner.DecryptDecodeBatch(cts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cts, _ := decodeTestCiphertexts(t, c, 5)
-
-	batch := c.DecryptDecodeBatch(cts)
 	for i, ct := range cts {
-		if !slotsEqualBits(batch[i], c.DecryptDecode(ct)) {
+		single, err := owner.DecryptDecode(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slotsEqualBits(batch[i], single) {
 			t.Fatalf("batch message %d differs from sequential decode", i)
 		}
 	}
@@ -58,19 +69,23 @@ func TestDecryptDecodeBatchMatchesSequential(t *testing.T) {
 
 // TestDecryptDecodeBatchInto pins the buffer-reuse contract: non-nil
 // entries are written in place, nil entries allocated, and a mis-sized
-// batch panics.
+// batch is a typed error on the role API (the deprecated Client facade
+// still panics — see TestClientFacadePanicsOnMisuse).
 func TestDecryptDecodeBatchInto(t *testing.T) {
-	c, err := NewClient(Test, 7, 9)
+	owner, device, server := threeParties(t, Test, 7, 9)
+	cts := decodeTestCiphertexts(t, device, server, 3)
+	ref, err := owner.DecryptDecodeBatch(cts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cts, _ := decodeTestCiphertexts(t, c, 3)
-	ref := c.DecryptDecodeBatch(cts)
 
 	out := make([][]complex128, len(cts))
-	out[0] = make([]complex128, c.Slots()) // reused in place
+	out[0] = make([]complex128, owner.Slots()) // reused in place
 	reused := out[0]
-	got := c.DecryptDecodeBatchInto(cts, out)
+	got, err := owner.DecryptDecodeBatchInto(cts, out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if &got[0][0] != &reused[0] {
 		t.Fatal("provided buffer was not reused")
 	}
@@ -80,30 +95,33 @@ func TestDecryptDecodeBatchInto(t *testing.T) {
 		}
 	}
 
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mis-sized batch output must panic")
-		}
-	}()
-	c.DecryptDecodeBatchInto(cts, make([][]complex128, len(cts)-1))
+	if _, err := owner.DecryptDecodeBatchInto(cts, make([][]complex128, len(cts)-1)); err == nil {
+		t.Fatal("mis-sized batch output must error")
+	}
 }
 
 // TestDecodeDeterminismAcrossWorkers: DecryptDecode and the batch path
-// must produce bit-identical slot values at worker counts 1, 2 and 8.
+// must produce bit-identical slot values at worker counts 1, 2 and 8 —
+// across parties that were built independently at each worker count.
 func TestDecodeDeterminismAcrossWorkers(t *testing.T) {
 	var refSingle []complex128
 	var refBatch [][]complex128
 	for _, w := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
-			c, err := NewClient(Test, 0xABC, 0xF0E, WithWorkers(w))
+			owner, device, server := threeParties(t, Test, 0xABC, 0xF0E, WithWorkers(w))
+			defer owner.Close()
+			defer device.Close()
+			defer server.Close()
+			cts := decodeTestCiphertexts(t, device, server, 3)
+
+			single, err := owner.DecryptDecode(cts[1])
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer c.Close()
-			cts, _ := decodeTestCiphertexts(t, c, 3)
-
-			single := c.DecryptDecode(cts[1])
-			batch := c.DecryptDecodeBatch(cts)
+			batch, err := owner.DecryptDecodeBatch(cts)
+			if err != nil {
+				t.Fatal(err)
+			}
 
 			if refSingle == nil {
 				refSingle, refBatch = single, batch
@@ -121,17 +139,17 @@ func TestDecodeDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestConcurrentDecryptDecodeBatch hammers one shared Client with
+// TestConcurrentDecryptDecodeBatch hammers one shared KeyOwner with
 // concurrent batch decodes (the decryptor is stateless and the scratch
 // pools are the only shared mutable state) — the -race acceptance test
 // for the decode pipeline.
 func TestConcurrentDecryptDecodeBatch(t *testing.T) {
-	c, err := NewClient(Test, 21, 22)
+	owner, device, server := threeParties(t, Test, 21, 22)
+	cts := decodeTestCiphertexts(t, device, server, 4)
+	ref, err := owner.DecryptDecodeBatch(cts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cts, _ := decodeTestCiphertexts(t, c, 4)
-	ref := c.DecryptDecodeBatch(cts)
 
 	const goroutines = 8
 	var wg sync.WaitGroup
@@ -141,7 +159,11 @@ func TestConcurrentDecryptDecodeBatch(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for iter := 0; iter < 3; iter++ {
-				got := c.DecryptDecodeBatch(cts)
+				got, err := owner.DecryptDecodeBatch(cts)
+				if err != nil {
+					errs <- err
+					return
+				}
 				for i := range ref {
 					if !slotsEqualBits(got[i], ref[i]) {
 						errs <- fmt.Errorf("goroutine %d iter %d: message %d mismatch", g, iter, i)

@@ -1,8 +1,9 @@
 // resnet20client reproduces the Fig. 1 scenario: the client side of a
-// privacy-preserving ResNet20 inference. The client encodes and encrypts
-// a CIFAR-10-sized image into CKKS ciphertexts, the (simulated) server
+// privacy-preserving ResNet20 inference, played out across the three
+// deployment roles. An encrypting device encodes and encrypts a
+// CIFAR-10-sized image into CKKS ciphertexts, the (simulated) server
 // evaluates the network and returns logits at the 2-limb level, and the
-// client decrypts and decodes them.
+// key owner decrypts and decodes them.
 //
 // It reports where the wall-clock time goes for three client platforms —
 // this host's CPU (really measured), the SOTA prior accelerator, and
@@ -20,7 +21,19 @@ import (
 )
 
 func main() {
-	client, err := abcfhe.NewClient(abcfhe.Test, 2024, 2025)
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Test, 2024, 2025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkBytes, err := owner.ExportPublicKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	device, err := abcfhe.NewEncryptor(pkBytes, 4040, 5050)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := abcfhe.NewServer(abcfhe.Test)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,37 +43,51 @@ func main() {
 	for i := 0; i < 3072; i++ {
 		pixels = append(pixels, complex(float64(i%256)/255-0.5, 0))
 	}
-	perCt := client.Slots()
+	perCt := device.Slots()
 	nCt := (len(pixels) + perCt - 1) / perCt
 	fmt.Printf("packing %d pixels into %d ciphertext(s) of %d slots\n", len(pixels), nCt, perCt)
 
-	// --- Functional run on this host -----------------------------------
+	// --- Functional run on this host (device role) ----------------------
 	start := time.Now()
-	cts := make([]*abcfhe.Ciphertext, 0, nCt)
+	chunks := make([][]complex128, 0, nCt)
 	for i := 0; i < nCt; i++ {
 		chunk := pixels[i*perCt:]
 		if len(chunk) > perCt {
 			chunk = chunk[:perCt]
 		}
-		cts = append(cts, client.EncodeEncrypt(chunk))
+		chunks = append(chunks, chunk)
+	}
+	cts, err := device.EncodeEncryptBatch(chunks)
+	if err != nil {
+		log.Fatal(err)
 	}
 	encodeTime := time.Since(start)
 
-	// "Server": a stand-in linear layer (the real network is the server
+	// Server: a stand-in linear layer (the real network is the server
 	// accelerator's concern — Fig. 1 takes its time from published
 	// numbers) followed by the drop to the 2-limb return state.
-	ev := client.Evaluator()
 	replies := make([]*abcfhe.Ciphertext, len(cts))
 	for i, ct := range cts {
-		replies[i] = ev.DropLevel(ev.Add(ct, ct), 2)
+		doubled, err := server.Add(ct, ct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if replies[i], err = server.DropLevel(doubled, 2); err != nil {
+			log.Fatal(err)
+		}
 	}
 
+	// Key owner: decrypt+decode the returned logits.
 	start = time.Now()
-	var logits []complex128
-	for _, r := range replies {
-		logits = append(logits, client.DecryptDecode(r)...)
+	decoded, err := owner.DecryptDecodeBatch(replies)
+	if err != nil {
+		log.Fatal(err)
 	}
 	decodeTime := time.Since(start)
+	var logits []complex128
+	for _, d := range decoded {
+		logits = append(logits, d...)
+	}
 	fmt.Printf("this host (pure Go): client enc %v, client dec %v (%d logits)\n\n",
 		encodeTime, decodeTime, len(logits))
 

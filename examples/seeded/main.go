@@ -1,7 +1,9 @@
-// seeded demonstrates the seeded-ciphertext extension: the client ships
-// c0 plus a 16-byte seed instead of a full (c0, c1) pair, and the server
-// regenerates c1 from the seed — the same PRNG trick ABC-FHE uses to keep
-// masks off DRAM, applied to the wire.
+// seeded demonstrates the seeded-ciphertext extension through the public
+// role API: the key owner ships c0 plus a 16-byte seed instead of a full
+// (c0, c1) pair, and the keyless server regenerates c1 from the seed —
+// the same PRNG trick ABC-FHE uses to keep masks off DRAM, applied to the
+// wire. Fresh uploads use the secret key, so compressed encryption is a
+// KeyOwner capability.
 package main
 
 import (
@@ -9,46 +11,52 @@ import (
 	"log"
 	"math/cmplx"
 
-	"repro/internal/ckks"
-	"repro/internal/prng"
+	abcfhe "repro"
 	"repro/internal/sim"
 )
 
 func main() {
-	params, err := ckks.TestParams.Build()
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Test, 99, 100)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seed := prng.SeedFromUint64s(99, 100)
-	kg := ckks.NewKeyGenerator(params, seed)
-	sk := kg.GenSecretKey()
-	enc := ckks.NewEncoder(params)
-	se := ckks.NewSeededEncryptor(params, sk, seed)
-	dec := ckks.NewDecryptor(params, sk)
+	server, err := abcfhe.NewServer(abcfhe.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	msg := make([]complex128, params.Slots())
+	msg := make([]complex128, owner.Slots())
 	for i := range msg {
 		msg[i] = complex(float64(i%13)/13-0.5, float64(i%17)/17-0.5)
 	}
 
-	// Client: seeded encryption + compressed wire form.
-	sct := se.Encrypt(enc.Encode(msg))
-	compressed, err := params.MarshalSeeded(sct)
+	// Key owner: seeded encryption + compressed wire form.
+	compressed, err := owner.EncodeEncryptCompressed(msg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fullBytes := params.CiphertextWireBytes(sct.Level)
+	fullBytes, err := server.CiphertextWireBytes(owner.MaxLevel())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("wire bytes: full ciphertext %d, seeded %d (%.1f%% of full)\n",
 		fullBytes, len(compressed), 100*float64(len(compressed))/float64(fullBytes))
 
-	// Server: expand from the seed, then hand back (here: decrypt directly
-	// to check correctness).
-	received, err := params.UnmarshalSeeded(compressed)
+	// Server: expand from the seed — no key material involved — then hand
+	// the full ciphertext back (here: straight back to the owner to check
+	// correctness).
+	ct, err := server.ExpandCompressedUpload(compressed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ct := params.Expand(received)
-	got := enc.Decode(dec.Decrypt(ct))
+	reply, err := server.SerializeCiphertext(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := owner.DecryptDecode(mustDeserialize(owner, reply))
+	if err != nil {
+		log.Fatal(err)
+	}
 	var worst float64
 	for i := range msg {
 		if e := cmplx.Abs(got[i] - msg[i]); e > worst {
@@ -67,4 +75,12 @@ func main() {
 			logN, s.Standard.TimeMS, s.Seeded.TimeMS, s.Speedup,
 			s.ThroughputStandard, s.ThroughputSeeded)
 	}
+}
+
+func mustDeserialize(owner *abcfhe.KeyOwner, data []byte) *abcfhe.Ciphertext {
+	ct, err := owner.DeserializeCiphertext(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ct
 }

@@ -37,8 +37,38 @@ const (
 	streamSecret uint64 = iota + 1
 	streamPKMask
 	streamPKError
-	streamEncMask // base for per-encryption streams
+	streamEncMask // base for per-encryption streams (first window starts at streamEncMask+16)
 )
+
+// streamUploadSeed and streamUploadErrSeed feed the upload-seed
+// derivations; they sit in the gap below the first per-encryption window
+// (streamEncMask + 16).
+const (
+	streamUploadSeed    uint64 = streamEncMask + 1
+	streamUploadErrSeed uint64 = streamEncMask + 2
+)
+
+// DeriveUploadSeed derives the seeded-upload *mask* seed from the
+// owner's root seed through the PRF: seeded ciphertexts transmit their
+// mask seed in the clear (the server regenerates c1 from it), so the
+// wire must carry a seed that is one-way derived from — never equal to —
+// the seed the key generator consumes. ChaCha output does not reveal its
+// key, so holders of upload bytes cannot walk back to the keypair.
+func DeriveUploadSeed(seed [16]byte) [16]byte {
+	src := prng.NewSource(seed, streamUploadSeed)
+	return prng.SeedFromUint64s(src.Uint64(), src.Uint64())
+}
+
+// deriveUploadErrorSeed derives the seeded-upload *error* seed — a
+// second, independent PRF expansion of the root seed that never reaches
+// the wire. It must not be computable from the transmitted mask seed:
+// an attacker who could regenerate the Gaussian error would strip every
+// upload down to an errorless RLWE sample (and with one known plaintext,
+// solve for the secret key outright).
+func deriveUploadErrorSeed(seed [16]byte) [16]byte {
+	src := prng.NewSource(seed, streamUploadErrSeed)
+	return prng.SeedFromUint64s(src.Uint64(), src.Uint64())
+}
 
 // GenSecretKey samples the ternary secret (Hamming weight params.HW if
 // nonzero, uniform ternary otherwise) and transforms it to NTT form.

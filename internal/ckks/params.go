@@ -70,17 +70,60 @@ type ParamSpec struct {
 	MantBits int // 0 ⇒ full float64 mantissa
 }
 
-// Build constructs ready-to-use Parameters (prime generation, NTT tables,
-// FFT tables). Cost is dominated by NTT table setup: O(L·N).
-func (s ParamSpec) Build() (*Parameters, error) {
+// MaxLimbs bounds the RNS chain length Build accepts — double the
+// paper's deepest (24-limb double-scale) chain, and the cap that keeps a
+// hostile wire-embedded spec from demanding unbounded NTT tables.
+const MaxLimbs = 48
+
+// Validate range-checks the spec without allocating anything. Build calls
+// it first; wire-facing constructors can call it on specs read from
+// untrusted key blobs.
+func (s ParamSpec) Validate() error {
 	if s.LogN < 4 || s.LogN > 17 {
-		return nil, fmt.Errorf("ckks: logN=%d out of range", s.LogN)
+		return fmt.Errorf("ckks: logN=%d out of range", s.LogN)
 	}
-	if s.Limbs < 1 {
-		return nil, fmt.Errorf("ckks: need at least one limb")
+	if s.Limbs < 1 || s.Limbs > MaxLimbs {
+		return fmt.Errorf("ckks: limbs=%d not in [1, %d]", s.Limbs, MaxLimbs)
 	}
-	if s.LogScale >= s.LimbBits*2 {
-		return nil, fmt.Errorf("ckks: scale 2^%d exceeds 2-limb decode modulus (LimbBits=%d)", s.LogScale, s.LimbBits)
+	// The prime generator needs logN+2 ≤ bits ≤ 61 (and the wire packer
+	// ≤ 44, but word-width parameter sets are still buildable).
+	if s.LimbBits < s.LogN+2 || s.LimbBits > 61 {
+		return fmt.Errorf("ckks: limbBits=%d not in [logN+2, 61]", s.LimbBits)
+	}
+	if s.LogScale < 1 || s.LogScale >= s.LimbBits*2 {
+		return fmt.Errorf("ckks: scale 2^%d outside (1, 2-limb decode modulus) (LimbBits=%d)", s.LogScale, s.LimbBits)
+	}
+	if s.HW < 0 || s.HW > 1<<uint(s.LogN) {
+		return fmt.Errorf("ckks: hamming weight %d exceeds ring degree", s.HW)
+	}
+	if s.MantBits != 0 && (s.MantBits < 10 || s.MantBits > fftfp.Float64Mantissa) {
+		return fmt.Errorf("ckks: mantissa width %d not in [10, %d]", s.MantBits, fftfp.Float64Mantissa)
+	}
+	return nil
+}
+
+// genNTTPrimes wraps the prime generator, which panics when the
+// [2^(bits-1), 2^bits) window cannot host `count` NTT primes — reachable
+// for legal-looking but unsatisfiable wire specs (e.g. limbBits == logN+2
+// with a long chain). The recover is scoped to exactly this call so a
+// genuine invariant violation elsewhere in Build still panics loudly
+// instead of masquerading as a corrupt key blob.
+func genNTTPrimes(count, bitLen, logN int) (qs []uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			qs, err = nil, fmt.Errorf("ckks: build: %v", r)
+		}
+	}()
+	return primes.GenerateNTTPrimes(count, bitLen, logN), nil
+}
+
+// Build constructs ready-to-use Parameters (prime generation, NTT tables,
+// FFT tables). Cost is dominated by NTT table setup: O(L·N). Specs from
+// untrusted sources are safe: out-of-range fields and unsatisfiable prime
+// requests come back as errors, never panics.
+func (s ParamSpec) Build() (*Parameters, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	mant := s.MantBits
 	if mant == 0 {
@@ -90,7 +133,10 @@ func (s ParamSpec) Build() (*Parameters, error) {
 		LogN: s.LogN, LimbBits: s.LimbBits, Limbs: s.Limbs,
 		LogScale: s.LogScale, HW: s.HW, MantBits: mant,
 	}
-	qs := primes.GenerateNTTPrimes(s.Limbs, s.LimbBits, s.LogN)
+	qs, err := genNTTPrimes(s.Limbs, s.LimbBits, s.LogN)
+	if err != nil {
+		return nil, err
+	}
 	r, err := ring.NewRing(1<<uint(s.LogN), qs)
 	if err != nil {
 		return nil, err

@@ -39,18 +39,45 @@ type SeededCiphertext struct {
 
 // SeededEncryptor performs secret-key seeded encryption. The call counter
 // is atomic, so one instance can encrypt from many goroutines.
+//
+// Two seeds are in play, both PRF-derived from the caller's root seed by
+// the constructor (the root seed itself is never stored here and never
+// reaches the wire): maskSeed regenerates the public masks and is
+// transmitted with every upload; errSeed drives the Gaussian error and
+// is never transmitted — if the error were derivable from the wire
+// bytes, every upload would collapse to an errorless RLWE sample.
 type SeededEncryptor struct {
-	params *Parameters
-	sk     *SecretKey
-	seed   [16]byte
-	calls  atomic.Uint64
+	params   *Parameters
+	sk       *SecretKey
+	maskSeed [16]byte // on the wire with every upload
+	errSeed  [16]byte // private: error randomness
+	calls    atomic.Uint64
 }
 
-// NewSeededEncryptor builds a seeded encryptor. The seed is the PRNG root
-// for both the public mask streams and the (never transmitted) error
-// randomness; mask streams are domain-separated from error streams.
+// NewSeededEncryptor builds a seeded encryptor from the caller's root
+// seed (mask and error seeds are derived internally — see the type doc).
 func NewSeededEncryptor(params *Parameters, sk *SecretKey, seed [16]byte) *SeededEncryptor {
-	return &SeededEncryptor{params: params, sk: sk, seed: seed}
+	return NewSeededEncryptorAt(params, sk, seed, 0)
+}
+
+// NewSeededEncryptorAt is NewSeededEncryptor with the stream counter
+// starting at base instead of 0. A (seed, stream) pair must never
+// encrypt twice — c0 − c0' would equal the plaintext difference with no
+// noise — so callers that cannot persist the counter across processes
+// (key-owner restart or migration, where the seed is fixed by the key
+// blob) pass a fresh random base per instance. The stream coordinate
+// travels in the wire form, so servers expand either way. The derived
+// mask/err seeds have no other consumers, so the full stream space is
+// available; base is clamped below 2^62 to keep counters overflow-free.
+func NewSeededEncryptorAt(params *Parameters, sk *SecretKey, seed [16]byte, base uint64) *SeededEncryptor {
+	se := &SeededEncryptor{
+		params:   params,
+		sk:       sk,
+		maskSeed: DeriveUploadSeed(seed),
+		errSeed:  deriveUploadErrorSeed(seed),
+	}
+	se.calls.Store(base & (1<<62 - 1))
+	return se
 }
 
 // maskStreamBase domain-separates public mask streams from every other
@@ -73,7 +100,7 @@ func (se *SeededEncryptor) Encrypt(pt *Plaintext) *SeededCiphertext {
 	rl := p.RingAt(level)
 	stream := maskStreamBase + se.calls.Add(1)
 
-	a := regenMask(rl, se.seed, stream)
+	a := regenMask(rl, se.maskSeed, stream)
 	sk := &ring.Poly{Coeffs: se.sk.S.Coeffs[:level], IsNTT: true}
 
 	c0 := rl.GetPolyUninit() // MulCoeffs fully overwrites
@@ -83,7 +110,7 @@ func (se *SeededEncryptor) Encrypt(pt *Plaintext) *SeededCiphertext {
 	rl.PutPoly(a)
 
 	e := rl.GetPolyUninit() // sampler fully overwrites
-	rl.GaussianPoly(prng.NewSource(se.seed, stream^0xE), e)
+	rl.GaussianPoly(prng.NewSource(se.errSeed, stream), e)
 	rl.Add(c0, e, c0)
 	rl.PutPoly(e)
 	if pt.Value.IsNTT {
@@ -92,7 +119,7 @@ func (se *SeededEncryptor) Encrypt(pt *Plaintext) *SeededCiphertext {
 	rl.Add(c0, pt.Value, c0)
 
 	return &SeededCiphertext{
-		C0: c0, Seed: se.seed, Stream: stream,
+		C0: c0, Seed: se.maskSeed, Stream: stream,
 		Level: level, Scale: pt.Scale,
 	}
 }
@@ -145,6 +172,9 @@ func (p *Parameters) UnmarshalSeeded(data []byte) (*SeededCiphertext, error) {
 	if len(data) < headerLen()+24 || string(data[:4]) != wireMagic {
 		return nil, fmt.Errorf("ckks: unmarshal seeded: bad magic/short data")
 	}
+	if data[4] != wireVersion {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: unsupported version %d", data[4])
+	}
 	if data[5] != encPacked|0x80 {
 		return nil, fmt.Errorf("ckks: unmarshal seeded: not a seeded ciphertext")
 	}
@@ -160,9 +190,13 @@ func (p *Parameters) UnmarshalSeeded(data []byte) (*SeededCiphertext, error) {
 	if len(data) != headerLen()+24+payload {
 		return nil, fmt.Errorf("ckks: unmarshal seeded: bad payload length")
 	}
+	scale := mathFloat64frombits(binary.LittleEndian.Uint64(data[8:]))
+	if !validWireScale(scale) {
+		return nil, fmt.Errorf("ckks: unmarshal seeded: invalid scale %g", scale)
+	}
 	sct := &SeededCiphertext{
 		Level: level,
-		Scale: mathFloat64frombits(binary.LittleEndian.Uint64(data[8:])),
+		Scale: scale,
 	}
 	copy(sct.Seed[:], data[headerLen():])
 	sct.Stream = binary.LittleEndian.Uint64(data[headerLen()+16:])

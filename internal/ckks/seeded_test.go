@@ -2,6 +2,9 @@ package ckks
 
 import (
 	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/ring"
 )
 
 func seededSetup(t *testing.T) (*Parameters, *SecretKey, *Encoder, *SeededEncryptor, *Decryptor) {
@@ -92,6 +95,60 @@ func TestSeededUnmarshalValidation(t *testing.T) {
 	fullData, _ := p.MarshalCiphertext(fullCt, true)
 	if _, err := p.UnmarshalSeeded(fullData); err == nil {
 		t.Fatal("full ciphertext must not parse as seeded")
+	}
+}
+
+// TestSeededErrorNotDerivableFromWireSeed pins the secrecy split of the
+// seeded form: the wire carries (maskSeed, stream), and from those two
+// values an attacker must NOT be able to regenerate the Gaussian error —
+// otherwise every upload is an errorless RLWE sample (and one known
+// plaintext yields the secret key). The actual error is reconstructed
+// with the secret key (e = c0 + a·s − m) and compared against the
+// attacker's candidates drawn from the transmitted seed; the private
+// derived error seed must reproduce it exactly (positive control).
+func TestSeededErrorNotDerivableFromWireSeed(t *testing.T) {
+	p, sk, enc, se, _ := seededSetup(t)
+	msg := randMsg(p, 0, 39)
+	pt := enc.Encode(msg)
+	sct := se.Encrypt(pt)
+	rl := p.RingAt(sct.Level)
+
+	// e = c0 + a·s − m, with a regenerated exactly as the server does.
+	a := regenMask(rl, sct.Seed, sct.Stream)
+	skView := &ring.Poly{Coeffs: sk.S.Coeffs[:sct.Level], IsNTT: true}
+	as := rl.NewPoly()
+	rl.MulCoeffs(a, skView, as)
+	rl.INTT(as)
+	rl.PutPoly(a)
+	e := rl.NewPoly()
+	rl.Add(sct.C0, as, e)
+	rl.Sub(e, pt.Value, e)
+
+	sameAs := func(guess *ring.Poly) bool {
+		for j, v := range guess.Coeffs[0] {
+			if v != e.Coeffs[0][j] {
+				return false
+			}
+		}
+		return true
+	}
+	// Attacker candidates from wire-visible material only.
+	for _, stream := range []uint64{sct.Stream, sct.Stream ^ 0xE, sct.Stream + 1} {
+		guess := rl.NewPoly()
+		rl.GaussianPoly(prng.NewSource(sct.Seed, stream), guess)
+		if sameAs(guess) {
+			t.Fatalf("error regenerable from wire seed at stream %d", stream)
+		}
+	}
+	// Positive control: the private error seed reproduces it.
+	want := rl.NewPoly()
+	rl.GaussianPoly(prng.NewSource(deriveUploadErrorSeed(testSeed()), sct.Stream), want)
+	if !sameAs(want) {
+		t.Fatal("derived error seed does not reproduce the actual error")
+	}
+	// And the wire seed is not the root seed.
+	if sct.Seed == testSeed() {
+		t.Fatal("wire seed equals the root seed")
 	}
 }
 

@@ -111,6 +111,9 @@ func (p *Parameters) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
 		return nil, fmt.Errorf("ckks: unmarshal: bad level %d", level)
 	}
 	scale := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	if !validWireScale(scale) {
+		return nil, fmt.Errorf("ckks: unmarshal: invalid scale %g", scale)
+	}
 	isNTT := data[16] == 1
 
 	n := p.N()
@@ -237,3 +240,11 @@ func (r *bitReader) read(width uint) uint64 {
 
 func floatBits(f float64) uint64     { return math.Float64bits(f) }
 func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// validWireScale is the shared hardening predicate for scale fields read
+// from untrusted bytes: finite and strictly positive (NaN fails the
+// comparison). Both ciphertext unmarshalers use it, so the accepted
+// domain is identical on the full and seeded paths.
+func validWireScale(scale float64) bool {
+	return scale > 0 && !math.IsInf(scale, 0)
+}

@@ -1,9 +1,10 @@
 package abcfhe
 
-// Tests for the lane-parallel execution engine at the public-API level:
-// the determinism contract (same seed ⇒ byte-identical ciphertexts at any
-// worker count), batch/serial equivalence, and concurrent-use safety of a
-// single Client (run with -race; CI does).
+// Tests for the lane-parallel execution engine at the public-API level,
+// on the role types: the determinism contract (same seed ⇒ byte-identical
+// ciphertexts at any worker count — see also TestEncryptorWorkerDeterminism
+// in roles_test.go), batch/serial equivalence, and concurrent-use safety
+// of shared parties (run with -race; CI does).
 
 import (
 	"bytes"
@@ -13,81 +14,42 @@ import (
 	"testing"
 )
 
-func laneTestMsgs(c *Client, n int) [][]complex128 {
-	msgs := make([][]complex128, n)
-	for k := range msgs {
-		msg := make([]complex128, c.Slots())
-		for i := range msg {
-			msg[i] = complex(float64((i+3*k)%17)/17-0.5, float64((i+5*k)%13)/13-0.5)
-		}
-		msgs[k] = msg
-	}
-	return msgs
-}
-
-// TestLaneDeterminism is the acceptance check for the lanes engine: for a
-// fixed seed, EncodeEncrypt output is byte-identical at worker counts 1,
-// 2 and 8, for single calls and for batches.
-func TestLaneDeterminism(t *testing.T) {
-	var refSingle, refBatch []byte
-	for _, w := range []int{1, 2, 8} {
-		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
-			c, err := NewClient(Test, 0xABC, 0xF0E, WithWorkers(w))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer c.Close()
-			if c.Workers() != w {
-				t.Fatalf("client reports %d workers, want %d", c.Workers(), w)
-			}
-			msgs := laneTestMsgs(c, 3)
-
-			single, err := c.SerializeCiphertext(c.EncodeEncrypt(msgs[0]))
-			if err != nil {
-				t.Fatal(err)
-			}
-			var batch bytes.Buffer
-			for _, ct := range c.EncodeEncryptBatch(msgs) {
-				b, err := c.SerializeCiphertext(ct)
-				if err != nil {
-					t.Fatal(err)
-				}
-				batch.Write(b)
-			}
-
-			if refSingle == nil {
-				refSingle, refBatch = single, batch.Bytes()
-				return
-			}
-			if !bytes.Equal(single, refSingle) {
-				t.Fatal("EncodeEncrypt output differs from the 1-worker reference")
-			}
-			if !bytes.Equal(batch.Bytes(), refBatch) {
-				t.Fatal("EncodeEncryptBatch output differs from the 1-worker reference")
-			}
-		})
-	}
-}
-
 // TestBatchMatchesSequential: a batch must consume exactly the stream
-// windows sequential calls would, so the two orders are interchangeable.
+// windows sequential calls would, so the two orders are interchangeable —
+// verified on two devices bootstrapped from the same public-key bytes
+// with the same seed.
 func TestBatchMatchesSequential(t *testing.T) {
-	seq, err := NewClient(Test, 11, 22)
+	owner, err := NewKeyOwner(Test, 11, 22)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bat, err := NewClient(Test, 11, 22)
+	pkBytes, err := owner.ExportPublicKey()
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs := laneTestMsgs(seq, 4)
+	seq, err := NewEncryptor(pkBytes, 33, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := NewEncryptor(pkBytes, 33, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := testMsgs(seq.Slots(), 4)
 
-	cts := bat.EncodeEncryptBatch(msgs)
+	cts, err := bat.EncodeEncryptBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cts) != len(msgs) {
 		t.Fatalf("batch returned %d ciphertexts for %d messages", len(cts), len(msgs))
 	}
 	for i, msg := range msgs {
-		want, err := seq.SerializeCiphertext(seq.EncodeEncrypt(msg))
+		ct, err := seq.EncodeEncrypt(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seq.SerializeCiphertext(ct)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,8 +62,11 @@ func TestBatchMatchesSequential(t *testing.T) {
 		}
 	}
 
-	// And the round trip still decodes, batched.
-	decoded := bat.DecryptDecodeBatch(cts)
+	// And the round trip still decodes, batched, on the key owner.
+	decoded, err := owner.DecryptDecodeBatch(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range msgs {
 		for j := range msgs[i] {
 			if cmplx.Abs(decoded[i][j]-msgs[i][j]) > 1e-4 {
@@ -111,15 +76,14 @@ func TestBatchMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestConcurrentEncrypt exercises one Client from many goroutines — the
-// atomic stream counter must hand every encryption a disjoint PRNG
-// window, and all shared state (pools, tables) must be race-free.
+// TestConcurrentEncrypt exercises one device Encryptor from many
+// goroutines — the atomic stream counter must hand every encryption a
+// disjoint PRNG window, and all shared state (pools, tables) must be
+// race-free. The shared KeyOwner decrypts concurrently too.
 func TestConcurrentEncrypt(t *testing.T) {
-	c, err := NewClient(Test, 77, 88, WithWorkers(4))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	owner, device, _ := threeParties(t, Test, 77, 88, WithWorkers(4))
+	defer device.Close()
+	defer owner.Close()
 
 	const goroutines = 8
 	const perG = 4
@@ -129,12 +93,21 @@ func TestConcurrentEncrypt(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			msg := make([]complex128, c.Slots())
+			msg := make([]complex128, device.Slots())
 			for i := range msg {
 				msg[i] = complex(float64(g)/16, -float64(g)/32)
 			}
 			for k := 0; k < perG; k++ {
-				got := c.DecryptDecode(c.EncodeEncrypt(msg))
+				ct, err := device.EncodeEncrypt(msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := owner.DecryptDecode(ct)
+				if err != nil {
+					errs <- err
+					return
+				}
 				for i := range msg {
 					if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
 						errs <- fmt.Errorf("goroutine %d slot %d error %g", g, i, cmplx.Abs(got[i]-msg[i]))
@@ -151,33 +124,35 @@ func TestConcurrentEncrypt(t *testing.T) {
 	}
 }
 
-// TestCompressedUploadConcurrent covers the seeded path's atomic counter.
+// TestCompressedUploadConcurrent covers the seeded path's atomic counter
+// across the owner/server split.
 func TestCompressedUploadConcurrent(t *testing.T) {
-	c, err := NewClient(Test, 5, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	owner, _, server := threeParties(t, Test, 5, 6)
 	var wg sync.WaitGroup
 	errs := make(chan error, 4)
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			msg := make([]complex128, c.Slots())
+			msg := make([]complex128, owner.Slots())
 			for i := range msg {
 				msg[i] = complex(0.125*float64(g+1), -0.0625)
 			}
-			data, err := c.EncodeEncryptCompressed(msg)
+			data, err := owner.EncodeEncryptCompressed(msg)
 			if err != nil {
 				errs <- err
 				return
 			}
-			ct, err := c.ExpandCompressedUpload(data)
+			ct, err := server.ExpandCompressedUpload(data)
 			if err != nil {
 				errs <- err
 				return
 			}
-			got := c.DecryptDecode(ct)
+			got, err := owner.DecryptDecode(ct)
+			if err != nil {
+				errs <- err
+				return
+			}
 			for i := range msg {
 				if cmplx.Abs(got[i]-msg[i]) > 1e-4 {
 					errs <- fmt.Errorf("goroutine %d slot %d error %g", g, i, cmplx.Abs(got[i]-msg[i]))

@@ -1,0 +1,130 @@
+package abcfhe
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ckks"
+)
+
+// Server is the keyless evaluation party: it expands compressed uploads
+// (regenerating c1 from the embedded 16-byte seed) and performs public
+// homomorphic operations — addition, plaintext/constant multiplication,
+// rescaling, level dropping. It never touches key material; everything it
+// needs arrives as ciphertext bytes.
+//
+// A Server is safe for concurrent use.
+type Server struct {
+	party
+	eval *ckks.Evaluator
+}
+
+// NewServer builds an evaluation party for the preset. The preset must
+// match the one the clients' keys were generated for (a mismatch is
+// detected when deserializing their ciphertexts).
+func NewServer(preset Preset, opts ...Option) (*Server, error) {
+	params, err := buildParams(preset, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newServer(params, true), nil
+}
+
+func newServer(params *ckks.Parameters, owns bool) *Server {
+	return &Server{party: party{params: params, ownsParams: owns}, eval: ckks.NewEvaluator(params)}
+}
+
+// ExpandCompressedUpload parses a seeded compressed upload and
+// regenerates c1 from the embedded seed. No key material needed — this is
+// the server half of the halved-upload protocol.
+func (s *Server) ExpandCompressedUpload(data []byte) (*Ciphertext, error) {
+	sct, err := s.params.UnmarshalSeeded(data)
+	if err != nil {
+		return nil, wireErr(err)
+	}
+	return s.params.Expand(sct), nil
+}
+
+// Add returns a + b (component-wise RLWE addition).
+func (s *Server) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := s.validatePair(a, b); err != nil {
+		return nil, err
+	}
+	return s.eval.Add(a, b), nil
+}
+
+// Sub returns a - b.
+func (s *Server) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := s.validatePair(a, b); err != nil {
+		return nil, err
+	}
+	return s.eval.Sub(a, b), nil
+}
+
+// Negate returns -ct.
+func (s *Server) Negate(ct *Ciphertext) (*Ciphertext, error) {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return nil, err
+	}
+	return s.eval.Negate(ct), nil
+}
+
+// MulConst multiplies by a real constant via an integer approximation
+// with compensating scale bookkeeping. The constant must be finite and
+// |c| < 2^32 (the evaluator represents it as round(c·2^30), which must
+// stay well inside uint64 — a NaN/Inf/huge value would otherwise hit an
+// implementation-defined float→uint conversion and yield platform-
+// dependent garbage with no error).
+func (s *Server) MulConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) >= 1<<32 {
+		return nil, fmt.Errorf("%w: %g not finite or |c| ≥ 2^32", ErrInvalidConstant, c)
+	}
+	return s.eval.MulConst(ct, c), nil
+}
+
+// Rescale divides the ciphertext by its last RNS prime, dropping one limb
+// and dividing the scale accordingly.
+func (s *Server) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return nil, err
+	}
+	if ct.Level < 2 {
+		return nil, fmt.Errorf("%w: cannot rescale below level 1", ErrLevelOutOfRange)
+	}
+	return s.eval.Rescale(ct), nil
+}
+
+// DropLevel truncates the ciphertext to `level` limbs without changing
+// the scale — how the paper's evaluation models server→client traffic
+// (the server returns 2-limb ciphertexts to minimize client work, §V-B).
+func (s *Server) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return nil, err
+	}
+	if level < 1 || level > ct.Level {
+		return nil, fmt.Errorf("%w: target %d not in [1, %d]", ErrLevelOutOfRange, level, ct.Level)
+	}
+	return s.eval.DropLevel(ct, level), nil
+}
+
+// Evaluator exposes the low-level keyless evaluator (plaintext operands,
+// panicking misuse semantics) for call sites that have already validated
+// their inputs.
+func (s *Server) Evaluator() *ckks.Evaluator { return s.eval }
+
+// Slots, MaxLevel, Workers, Close, SerializeCiphertext,
+// DeserializeCiphertext, CiphertextWireBytes and CompressedWireBytes are
+// provided by the embedded party substrate (party.go).
+
+func (s *Server) validatePair(a, b *Ciphertext) error {
+	if err := validateCoeffCiphertext(s.params, a); err != nil {
+		return err
+	}
+	if err := validateCoeffCiphertext(s.params, b); err != nil {
+		return err
+	}
+	return validateSameLevelScale(a, b)
+}
