@@ -9,10 +9,14 @@
 //     bootstrappable parameter sets, N = 2^13..2^16, 36-bit double-scale
 //     RNS chains) built entirely from this repository's substrates. Three
 //     parties mirror the paper's asymmetric deployment: KeyOwner (secret
-//     key: keygen, decrypt+decode, seeded uploads, key export), Encryptor
-//     (public-key-only encoding devices) and Server (keyless evaluation).
-//     Parties on different machines exchange nothing but bytes — packed
-//     wire formats for ciphertexts, compressed uploads, and keys.
+//     key: keygen, decrypt+decode, seeded uploads, key export — including
+//     evaluation keys), Encryptor (public-key-only encoding devices) and
+//     Server (keyless: expands compressed uploads, evaluates — additions
+//     and constants key-free; ct×ct multiplication, slot rotations, inner
+//     sums and plaintext-weight dot products gated by an imported
+//     evaluation-key set). Parties on different machines exchange nothing
+//     but bytes — packed wire formats for ciphertexts, compressed
+//     uploads, and keys.
 //   - Accelerator: the modeled ABC-FHE chip — cycle-level latency,
 //     throughput, and the 28 nm area/power composition — plus every
 //     experiment of the paper's evaluation section (see Experiments).

@@ -207,6 +207,109 @@ func BenchmarkClientEncodeEncryptBatch8(b *testing.B) {
 	}
 }
 
+// benchEvalServer builds the key-gated server surface once for the
+// evaluation benchmarks: Test-preset parties, depth-4 keys with the
+// rotation ladder for an 8-slot inner sum.
+func benchEvalServer(b *testing.B) (*Server, *EvaluationKeys, *Ciphertext) {
+	b.Helper()
+	owner, err := NewKeyOwner(Test, 7, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkBytes, _ := owner.ExportPublicKey()
+	evkBytes, err := owner.ExportEvaluationKeys(EvalKeyConfig{
+		MaxLevel:  4,
+		Rotations: InnerSumRotations(8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	device, err := NewEncryptor(pkBytes, 9, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, evk, err := NewServerFromEvaluationKeys(evkBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]complex128, device.Slots())
+	src := prng.NewSource(prng.SeedFromUint64s(1, 2), 0)
+	for i := range msg {
+		msg[i] = complex(src.Float64()-0.5, src.Float64()-0.5)
+	}
+	ct, err := device.EncodeEncrypt(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return server, evk, ct
+}
+
+// Key-switch hot paths with allocation accounting — the allocs/op column
+// is the regression canary for the pool-backed digit decomposition (the
+// hard budget is TestEvalAllocationBudget; these report real numbers per
+// worker configuration).
+func BenchmarkServerMulRelin(b *testing.B) {
+	server, evk, ct := benchEvalServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Mul(ct, ct, evk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerRotate(b *testing.B) {
+	server, evk, ct := benchEvalServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Rotate(ct, 1, evk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Hoisted vs sequential multi-rotation: RotateMany shares one digit
+// decomposition (and its NTTs) across all steps; the sequential loop pays
+// it per step.
+func BenchmarkServerRotateMany(b *testing.B) {
+	steps := []int{1, 2, 4}
+	b.Run("hoisted", func(b *testing.B) {
+		server, evk, ct := benchEvalServer(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := server.RotateMany(ct, steps, evk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		server, evk, ct := benchEvalServer(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range steps {
+				if _, err := server.Rotate(ct, k, evk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkServerInnerSum8(b *testing.B) {
+	server, evk, ct := benchEvalServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.InnerSum(ct, 8, evk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Extension: seeded-ciphertext bandwidth ablation.
 func BenchmarkSeededAblation(b *testing.B) { benchExperiment(b, "seeded") }
 

@@ -9,11 +9,17 @@
 // ciphertext files, so the three parties can run in three separate
 // processes (or machines):
 //
-//	abc-fhe keygen  -preset Test -pk pk.key -sk sk.key     # key owner
-//	abc-fhe encrypt -pk pk.key -in msg.txt -out ct.bin     # device (public key only)
-//	abc-fhe decrypt -sk sk.key -in ct.bin                  # key owner
+//	abc-fhe keygen   -preset Test -pk pk.key -sk sk.key     # key owner
+//	abc-fhe evalkeys -sk sk.key -rotations 1,2 -out evk.bin # key owner → server
+//	abc-fhe encrypt  -pk pk.key -in msg.txt -out ct.bin     # device (public key only)
+//	abc-fhe eval     -evk evk.bin -op mul -a x.bin -b y.bin -out ct.bin  # server (keyless)
+//	abc-fhe decrypt  -sk sk.key -in ct.bin                  # key owner
 //
-// Message files hold one complex value per line: "re" or "re im".
+// The eval subcommand bootstraps its server from the evaluation-key blob
+// alone (the parameter spec is embedded) and supports ops mul, rotate,
+// conjugate, innersum and dot — the encrypted-compute surface of the
+// Server role. Message files hold one complex value per line: "re" or
+// "re im".
 //
 // Demo usage:
 //
@@ -42,7 +48,7 @@ import (
 func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
-		fmt.Println("subcommands: demo (default), keygen, encrypt, decrypt")
+		fmt.Println("subcommands: demo (default), keygen, evalkeys, encrypt, eval, decrypt")
 		fmt.Println("run `abc-fhe <subcommand> -h` for that subcommand's flags")
 		return
 	}
@@ -53,12 +59,16 @@ func main() {
 			err = runDemo(args[1:])
 		case "keygen":
 			err = runKeygen(args[1:])
+		case "evalkeys":
+			err = runEvalKeys(args[1:])
 		case "encrypt":
 			err = runEncrypt(args[1:])
+		case "eval":
+			err = runEval(args[1:])
 		case "decrypt":
 			err = runDecrypt(args[1:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (try: demo, keygen, encrypt, decrypt)", cmd)
+			err = fmt.Errorf("unknown subcommand %q (try: demo, keygen, evalkeys, encrypt, eval, decrypt)", cmd)
 		}
 	} else {
 		err = runDemo(args)
@@ -133,6 +143,170 @@ func runKeygen(args []string) error {
 	}
 	fmt.Printf("keygen %s: public key %d bytes -> %s, secret key %d bytes -> %s\n",
 		*preset, len(pk), *pkPath, len(sk), *skPath)
+	return nil
+}
+
+func runEvalKeys(args []string) error {
+	fs := flag.NewFlagSet("evalkeys", flag.ContinueOnError)
+	skPath := fs.String("sk", "sk.key", "secret-key blob from `abc-fhe keygen`")
+	outPath := fs.String("out", "evk.bin", "output path for the evaluation-key blob (ship to the server)")
+	maxLevel := fs.Int("max-level", 0, "depth cap for the keys (0 = full depth; key size is quadratic in depth)")
+	rotations := fs.String("rotations", "", "comma-separated rotation steps, e.g. 1,2,4 (innersum over n slots needs 1..n/2 powers of two)")
+	conj := fs.Bool("conjugate", false, "also generate the complex-conjugation key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	skBytes, err := os.ReadFile(*skPath)
+	if err != nil {
+		return err
+	}
+	owner, err := abcfhe.NewKeyOwnerFromSecretKey(skBytes)
+	if err != nil {
+		return err
+	}
+	defer owner.Close()
+
+	var steps []int
+	kept := map[int]bool{} // normalized steps actually exported (0 dropped, dups merged)
+	if *rotations != "" {
+		for _, f := range strings.Split(*rotations, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("evalkeys: -rotations: %v", err)
+			}
+			steps = append(steps, k)
+			if n := ((k % owner.Slots()) + owner.Slots()) % owner.Slots(); n != 0 {
+				kept[n] = true
+			}
+		}
+	}
+	evk, err := owner.ExportEvaluationKeys(abcfhe.EvalKeyConfig{
+		MaxLevel:  *maxLevel,
+		Rotations: steps,
+		Conjugate: *conj,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, evk, 0o644); err != nil {
+		return err
+	}
+	depth := "full depth"
+	if *maxLevel > 0 {
+		depth = fmt.Sprintf("depth %d", *maxLevel)
+	}
+	fmt.Printf("evalkeys: relin + %d rotation key(s) at %s, %d bytes -> %s\n",
+		len(kept), depth, len(evk), *outPath)
+	return nil
+}
+
+// runEval is the server role on files: bootstrap from the evaluation-key
+// blob (no preset flag — the spec is embedded), apply one key-gated
+// operation, write the resulting ciphertext.
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	evkPath := fs.String("evk", "evk.bin", "evaluation-key blob from `abc-fhe evalkeys`")
+	op := fs.String("op", "", "operation: mul, rotate, conjugate, innersum, dot")
+	aPath := fs.String("a", "", "first ciphertext file")
+	bPath := fs.String("b", "", "second ciphertext file (mul)")
+	by := fs.Int("by", 0, "rotation step (rotate)")
+	span := fs.Int("span", 0, "inner-sum span, a power of two (innersum)")
+	weights := fs.String("weights", "", "plaintext weight file, one value per line (dot)")
+	dropLevel := fs.Int("drop-level", 0, "DropLevel the inputs first (0 = keep; use the evalkeys depth)")
+	rescale := fs.Int("rescale", 0, "Rescale the result n times (a mul consumes 1, or 2 on double-scale presets)")
+	outPath := fs.String("out", "ct.out.bin", "output ciphertext file")
+	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aPath == "" {
+		return fmt.Errorf("eval: -a ciphertext file required")
+	}
+
+	evkBytes, err := os.ReadFile(*evkPath)
+	if err != nil {
+		return err
+	}
+	server, evk, err := abcfhe.NewServerFromEvaluationKeys(evkBytes, abcfhe.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	loadCt := func(path string) (*abcfhe.Ciphertext, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := server.DeserializeCiphertext(data)
+		if err != nil {
+			return nil, err
+		}
+		if *dropLevel > 0 {
+			return server.DropLevel(ct, *dropLevel)
+		}
+		return ct, nil
+	}
+	a, err := loadCt(*aPath)
+	if err != nil {
+		return err
+	}
+
+	var out *abcfhe.Ciphertext
+	switch *op {
+	case "mul":
+		if *bPath == "" {
+			return fmt.Errorf("eval: -op mul needs -b")
+		}
+		b, err := loadCt(*bPath)
+		if err != nil {
+			return err
+		}
+		out, err = server.Mul(a, b, evk)
+		if err != nil {
+			return err
+		}
+	case "rotate":
+		if out, err = server.Rotate(a, *by, evk); err != nil {
+			return err
+		}
+	case "conjugate":
+		if out, err = server.Conjugate(a, evk); err != nil {
+			return err
+		}
+	case "innersum":
+		if out, err = server.InnerSum(a, *span, evk); err != nil {
+			return err
+		}
+	case "dot":
+		if *weights == "" {
+			return fmt.Errorf("eval: -op dot needs -weights")
+		}
+		w, err := readMessageFile(*weights)
+		if err != nil {
+			return err
+		}
+		if out, err = server.DotPlain(a, w, evk); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("eval: unknown -op %q (mul, rotate, conjugate, innersum, dot)", *op)
+	}
+	for i := 0; i < *rescale; i++ {
+		if out, err = server.Rescale(out); err != nil {
+			return err
+		}
+	}
+
+	data, err := server.SerializeCiphertext(out)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("eval %s: level-%d ciphertext, %d bytes -> %s\n", *op, out.Level, len(data), *outPath)
 	return nil
 }
 

@@ -56,6 +56,75 @@ func TestCLIKeyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCLIEvalFlow drives the encrypted-compute loop across the file
+// boundary: keygen → evalkeys → two encrypts → eval mul (+rescale) → eval
+// dot → self-verifying decrypts. The eval steps hold only the
+// evaluation-key blob and ciphertext files — the server role end to end.
+func TestCLIEvalFlow(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+
+	// x = (0.5, -0.25), y = (0.5, 0.5) → x⊙y = (0.25, -0.125);
+	// dot(x, w=(1, 2)) = 0.5 − 0.5 = 0.
+	if err := os.WriteFile(p("x.txt"), []byte("0.5\n-0.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p("y.txt"), []byte("0.5\n0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p("w.txt"), []byte("1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p("prod.txt"), []byte("0.25\n-0.125\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p("dot.txt"), []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runKeygen([]string{"-preset", "Test", "-pk", p("pk.key"), "-sk", p("sk.key")}); err != nil {
+		t.Fatal("keygen:", err)
+	}
+	if err := runEvalKeys([]string{"-sk", p("sk.key"), "-out", p("evk.bin"), "-rotations", "1"}); err != nil {
+		t.Fatal("evalkeys:", err)
+	}
+	if err := runEncrypt([]string{"-pk", p("pk.key"), "-in", p("x.txt"), "-out", p("x.bin")}); err != nil {
+		t.Fatal("encrypt x:", err)
+	}
+	if err := runEncrypt([]string{"-pk", p("pk.key"), "-in", p("y.txt"), "-out", p("y.bin")}); err != nil {
+		t.Fatal("encrypt y:", err)
+	}
+
+	// ct×ct multiply with one rescale (Test preset's Δ spans one limb).
+	if err := runEval([]string{"-evk", p("evk.bin"), "-op", "mul",
+		"-a", p("x.bin"), "-b", p("y.bin"), "-rescale", "1", "-out", p("prod.bin")}); err != nil {
+		t.Fatal("eval mul:", err)
+	}
+	// tol 1e-3: the Test preset's post-rescale scale is 2^24, so product
+	// noise sits just above the 1e-4 default.
+	if err := runDecrypt([]string{"-sk", p("sk.key"), "-in", p("prod.bin"),
+		"-expect", p("prod.txt"), "-tol", "1e-3"}); err != nil {
+		t.Fatal("decrypt product:", err)
+	}
+
+	// Plaintext-weight dot product: slot 0 holds Σ w·x (rotation noise at
+	// the Test preset's scale needs the looser tolerance).
+	if err := runEval([]string{"-evk", p("evk.bin"), "-op", "dot",
+		"-a", p("x.bin"), "-weights", p("w.txt"), "-out", p("dot.bin")}); err != nil {
+		t.Fatal("eval dot:", err)
+	}
+	if err := runDecrypt([]string{"-sk", p("sk.key"), "-in", p("dot.bin"),
+		"-expect", p("dot.txt"), "-tol", "0.05"}); err != nil {
+		t.Fatal("decrypt dot:", err)
+	}
+
+	// Misuse stays an error, never a panic: rotation step without a key.
+	if err := runEval([]string{"-evk", p("evk.bin"), "-op", "rotate", "-by", "3",
+		"-a", p("x.bin"), "-out", p("rot.bin")}); err == nil {
+		t.Fatal("rotation by an ungenerated step must fail")
+	}
+}
+
 // TestCLIKeygenDefaultSeedsAreFresh: without explicit -seed flags every
 // keygen must draw a fresh crypto/rand seed — two default runs may never
 // emit the same key material (a fixed default would hand every user the

@@ -36,6 +36,13 @@ var (
 	// ErrInvalidConstant: a scalar operand is not representable (NaN,
 	// infinite, or too large for the fixed-point approximation).
 	ErrInvalidConstant = errors.New("abcfhe: invalid constant")
+	// ErrEvaluationKeyMissing: an operation needs evaluation-key material
+	// the provided set does not carry — no set at all, no relinearization
+	// key, an ungenerated rotation step, or a missing conjugation key.
+	ErrEvaluationKeyMissing = errors.New("abcfhe: evaluation key missing")
+	// ErrInvalidSpan: an inner-sum span is not a power of two within the
+	// slot count.
+	ErrInvalidSpan = errors.New("abcfhe: invalid slot span")
 )
 
 // wireErr brands a deserialization failure with ErrMalformedWire while

@@ -4,6 +4,7 @@ package abcfhe_test
 // could live on its own machine — everything they exchange is bytes.
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -111,6 +112,114 @@ func ExampleEncryptor() {
 	// Output:
 	// encrypted 2 messages at depth 4
 	// abcfhe: message longer than slot count: 513 values, 512 slots
+}
+
+// Ciphertext × ciphertext multiplication: the KeyOwner exports an
+// evaluation-key blob; the keyless Server imports it and multiplies two
+// encrypted vectors slot-wise with relinearization, rescaling afterwards.
+func ExampleServer_Mul() {
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Test, 21, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkBytes, _ := owner.ExportPublicKey()
+	evkBytes, err := owner.ExportEvaluationKeys(abcfhe.EvalKeyConfig{MaxLevel: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	device, _ := abcfhe.NewEncryptor(pkBytes, 23, 24)
+	ctX, _ := device.EncodeEncrypt([]complex128{0.5, -0.25})
+	ctY, _ := device.EncodeEncrypt([]complex128{0.5, 2})
+
+	// The server needs nothing but the blob: the parameter spec is
+	// embedded, so it can bootstrap and import in one call.
+	server, evk, err := abcfhe.NewServerFromEvaluationKeys(evkBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod, err := server.Mul(ctX, ctY, evk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod, _ = server.Rescale(prod) // product scale Δ² → back near Δ
+
+	slots, _ := owner.DecryptDecode(prod)
+	fmt.Printf("0.50 * 0.50 = %.3f\n", real(slots[0]))
+	fmt.Printf("-0.25 * 2.00 = %.3f\n", real(slots[1]))
+	// Output:
+	// 0.50 * 0.50 = 0.250
+	// -0.25 * 2.00 = -0.500
+}
+
+// Slot rotation: the evaluation-key set carries keys for the exported
+// steps only; Rotate moves slot i+k into slot i.
+func ExampleServer_Rotate() {
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Test, 31, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkBytes, _ := owner.ExportPublicKey()
+	evkBytes, err := owner.ExportEvaluationKeys(abcfhe.EvalKeyConfig{
+		MaxLevel:  4,
+		Rotations: []int{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	device, _ := abcfhe.NewEncryptor(pkBytes, 33, 34)
+	ct, _ := device.EncodeEncrypt([]complex128{1, 2, 3, 4})
+
+	server, evk, err := abcfhe.NewServerFromEvaluationKeys(evkBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rot, err := server.Rotate(ct, 1, evk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slots, _ := owner.DecryptDecode(rot)
+	fmt.Printf("first slots after rotating by 1: %.0f %.0f %.0f\n",
+		real(slots[0]), real(slots[1]), real(slots[2]))
+
+	// A step that was never exported is a typed error, not a panic.
+	_, err = server.Rotate(ct, 7, evk)
+	fmt.Println("step 7:", errors.Is(err, abcfhe.ErrEvaluationKeyMissing))
+	// Output:
+	// first slots after rotating by 1: 2 3 4
+	// step 7: true
+}
+
+// Exporting evaluation keys: the owner chooses the depth cap and rotation
+// steps (the BV gadget is quadratic in depth — export only what the
+// server's circuit needs), and the blob is self-describing.
+func ExampleKeyOwner_ExportEvaluationKeys() {
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Test, 41, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evkBytes, err := owner.ExportEvaluationKeys(abcfhe.EvalKeyConfig{
+		MaxLevel:  2,
+		Rotations: abcfhe.InnerSumRotations(4), // ladder for InnerSum over 4 slots
+		Conjugate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server, evk, err := abcfhe.NewServerFromEvaluationKeys(evkBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	fmt.Println("depth cap:", evk.MaxLevel())
+	fmt.Println("rotation steps:", evk.RotationSteps())
+	fmt.Println("conjugation key:", evk.HasConjugate())
+	// Output:
+	// depth cap: 2
+	// rotation steps: [1 2]
+	// conjugation key: true
 }
 
 // The Server role: keyless — it expands seeded compressed uploads and

@@ -7,12 +7,12 @@ import (
 )
 
 // Server-side evaluation primitives — not the paper's focus (ABC-FHE is a
-// client accelerator), but enough algebra for the examples to run a
-// realistic client → server → client loop: addition, plaintext
-// multiplication, rescaling and level dropping. Relinearized ct×ct
-// multiplication is intentionally out of scope (it needs evaluation keys
-// whose generation/key-switching is a server concern the paper does not
-// evaluate).
+// client accelerator), but the consumer of every ciphertext it produces:
+// addition, plaintext multiplication, rescaling and level dropping live
+// here; the key-gated operations (relinearized ct×ct multiplication,
+// Galois rotations — keyswitch.go) complete the server half of the
+// protocol, reachable publicly through the Server role's evaluation-key
+// surface.
 
 // Evaluator performs public (keyless) homomorphic operations.
 type Evaluator struct {

@@ -1,0 +1,76 @@
+package ckks
+
+import "sort"
+
+// EvaluationKeySet bundles everything a keyless server needs to compute on
+// ciphertexts beyond additions: the relinearization key (ct×ct multiply)
+// and a configurable set of rotation keys (slot rotations, conjugation,
+// inner sums). The set is public-but-powerful material: it does not help
+// decrypt, but whoever holds it can transform the key owner's ciphertexts
+// — it belongs on the server, never on the encrypting devices (which need
+// only the public key) and never back at rest with ciphertexts.
+//
+// MaxLevel caps the depth every key in the set supports. The BV gadget is
+// quadratic in depth (a depth-D key holds D·Digits·2 polynomials of D
+// limbs each), so exporting keys no deeper than the server's actual
+// circuit keeps blobs proportional to the work — see EvalKeyInfo and the
+// wire-size helpers in evalkeyserialize.go.
+type EvaluationKeySet struct {
+	Rlk      *RelinearizationKey
+	Rot      map[int]*RotationKey // by normalized slot step in [1, Slots)
+	Conj     *RotationKey         // nil unless conjugation was requested
+	MaxLevel int
+}
+
+// Steps lists the set's rotation steps in ascending order (the canonical
+// wire order).
+func (ks *EvaluationKeySet) Steps() []int {
+	steps := make([]int, 0, len(ks.Rot))
+	for k := range ks.Rot {
+		steps = append(steps, k)
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// InnerSumRotations returns the power-of-two rotation-step ladder
+// {1, 2, 4, …, n/2} that a log-depth inner sum over n slots consumes
+// (n must be a power of two; n ≤ 1 needs no rotations).
+func InnerSumRotations(n int) []int {
+	var steps []int
+	for s := 1; s < n; s <<= 1 {
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// GenEvaluationKeySet derives a key set deterministically from the
+// generator's seed: the relinearization key plus one rotation key per
+// (deduplicated, normalized) step, all capped at maxLevel limbs, and the
+// conjugation key when conj is set. Step 0 (the identity) is dropped.
+// Every call with the same arguments regenerates byte-identical keys.
+func (kg *KeyGenerator) GenEvaluationKeySet(sk *SecretKey, maxLevel int, steps []int, conj bool) *EvaluationKeySet {
+	p := kg.params
+	if maxLevel < 1 || maxLevel > p.MaxLevel() {
+		panic("ckks: evaluation-key depth out of range")
+	}
+	ks := &EvaluationKeySet{
+		Rlk:      kg.GenRelinearizationKeyAt(sk, maxLevel),
+		Rot:      make(map[int]*RotationKey),
+		MaxLevel: maxLevel,
+	}
+	for _, k := range steps {
+		k = p.NormalizeStep(k)
+		if k == 0 {
+			continue
+		}
+		if _, ok := ks.Rot[k]; ok {
+			continue
+		}
+		ks.Rot[k] = kg.GenRotationKeyAt(sk, p.GaloisElement(k), maxLevel)
+	}
+	if conj {
+		ks.Conj = kg.GenRotationKeyAt(sk, p.GaloisElementConjugate(), maxLevel)
+	}
+	return ks
+}

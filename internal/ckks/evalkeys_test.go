@@ -1,0 +1,218 @@
+package ckks
+
+import (
+	"bytes"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func testEvalKeySet(t testing.TB, maxLevel int, steps []int, conj bool) (*EvaluationKeySet, *SecretKey, *PublicKey) {
+	t.Helper()
+	kg := NewKeyGenerator(testParams, testSeed())
+	sk, pk := kg.GenKeyPair()
+	return kg.GenEvaluationKeySet(sk, maxLevel, steps, conj), sk, pk
+}
+
+// TestEvalKeySetRoundTrip pins the wire format: marshal→unmarshal→marshal
+// is byte-identical, the round-tripped keys are poly-equal to the
+// originals (the coefficient-domain wire pass is exact), and generation is
+// deterministic from the seed (canonical re-export).
+func TestEvalKeySetRoundTrip(t *testing.T) {
+	p := testParams
+	ks, _, _ := testEvalKeySet(t, 3, []int{1, 2, 2, -1 /* dup + negative */}, true)
+
+	data, err := p.MarshalEvaluationKeySet(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.EvaluationKeyWireBytes(3, len(ks.Rot), true); len(data) != want {
+		t.Fatalf("blob is %d bytes, EvaluationKeyWireBytes says %d", len(data), want)
+	}
+
+	back, err := p.UnmarshalEvaluationKeySet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.MarshalEvaluationKeySet(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-marshal not byte-identical")
+	}
+
+	// Deterministic regeneration: a second key set from the same seed
+	// marshals identically.
+	ks2, _, _ := testEvalKeySet(t, 3, []int{-1, 1, 2}, true)
+	data2, err := p.MarshalEvaluationKeySet(ks2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("evaluation-key generation is not deterministic from the seed")
+	}
+
+	// Poly-level equality of a sample: the relin key survives the
+	// coefficient-domain wire pass exactly.
+	r := p.RingAt(3)
+	for i := range ks.Rlk.K.K0 {
+		for tt := range ks.Rlk.K.K0[i] {
+			if !r.Equal(ks.Rlk.K.K0[i][tt], back.Rlk.K.K0[i][tt]) ||
+				!r.Equal(ks.Rlk.K.K1[i][tt], back.Rlk.K.K1[i][tt]) {
+				t.Fatal("relinearization key changed across the wire")
+			}
+		}
+	}
+	// Geometry: steps normalized (−1 ≡ Slots−1), dup dropped, conj present.
+	wantSteps := map[int]bool{1: true, 2: true, p.Slots() - 1: true}
+	if len(back.Rot) != len(wantSteps) {
+		t.Fatalf("rotation steps %v", back.Steps())
+	}
+	for s := range wantSteps {
+		if back.Rot[s] == nil {
+			t.Fatalf("missing step %d (have %v)", s, back.Steps())
+		}
+	}
+	if back.Conj == nil || back.MaxLevel != 3 {
+		t.Fatal("conjugation key or depth lost")
+	}
+}
+
+// TestDepthCappedMulRelin: a relinearization key generated at a reduced
+// depth multiplies correctly at every level it supports and panics above.
+func TestDepthCappedMulRelin(t *testing.T) {
+	p := testParams
+	kg := NewKeyGenerator(p, testSeed())
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinearizationKeyAt(sk, 2)
+	enc := NewEncoder(p)
+	encryptor := NewEncryptor(p, pk, testSeed())
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	m1 := randMsg(p, 0, 61)
+	m2 := randMsg(p, 0, 62)
+	ct1 := ev.DropLevel(encryptor.Encrypt(enc.Encode(m1)), 2)
+	ct2 := ev.DropLevel(encryptor.Encrypt(enc.Encode(m2)), 2)
+
+	prod := ev.Rescale(ev.MulRelin(ct1, ct2, rlk))
+	got := enc.Decode(dec.Decrypt(prod))
+	for i := range m1 {
+		if cmplx.Abs(got[i]-m1[i]*m2[i]) > 5e-2 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], m1[i]*m2[i])
+		}
+	}
+
+	// Above the key's depth: loud panic at the scheme layer (the public
+	// API converts this to a typed error before reaching here).
+	full1 := encryptor.Encrypt(enc.Encode(m1))
+	full2 := encryptor.Encrypt(enc.Encode(m2))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MulRelin above key depth must panic at the scheme layer")
+		}
+		if !strings.Contains(r.(string), "depth") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	ev.MulRelin(full1, full2, rlk)
+}
+
+// TestRotateHoistedMatchesSequential: the hoisted multi-rotation path is
+// bit-identical to rotating one step at a time (same keys, same digits —
+// the decomposition is shared, not re-derived), and decrypts to the
+// rotated message.
+func TestRotateHoistedMatchesSequential(t *testing.T) {
+	p := testParams
+	kg := NewKeyGenerator(p, testSeed())
+	sk, pk := kg.GenKeyPair()
+	enc := NewEncoder(p)
+	encryptor := NewEncryptor(p, pk, testSeed())
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	msg := randMsg(p, 0, 63)
+	ct := encryptor.Encrypt(enc.Encode(msg))
+
+	steps := []int{1, 2, 5}
+	rks := make([]*RotationKey, len(steps))
+	for i, k := range steps {
+		rks[i] = kg.GenRotationKey(sk, p.GaloisElement(k))
+	}
+
+	hoisted := ev.RotateHoisted(ct, rks)
+	r := p.Ring()
+	for i, rk := range rks {
+		seq := ev.RotateGalois(ct, rk)
+		if !r.Equal(seq.C0, hoisted[i].C0) || !r.Equal(seq.C1, hoisted[i].C1) {
+			t.Fatalf("step %d: hoisted rotation differs from sequential", steps[i])
+		}
+		got := enc.Decode(dec.Decrypt(hoisted[i]))
+		slots := p.Slots()
+		for j := 0; j < slots; j++ {
+			want := msg[(j+steps[i])%slots]
+			if cmplx.Abs(got[j]-want) > 5e-2 {
+				t.Fatalf("step %d slot %d: got %v want %v", steps[i], j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestEvalKeyInfoRejects drives the sub-header validation: forged domain
+// byte (NTT-tagged), unknown flags, bad digit counts, out-of-range depth,
+// non-ascending steps, truncations — errors, never panics.
+func TestEvalKeyInfoRejects(t *testing.T) {
+	p := testParams
+	ks, _, _ := testEvalKeySet(t, 2, []int{1}, false)
+	data, err := p.MarshalEvaluationKeySet(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := keyHeaderLen()
+
+	mut := func(i int, v byte) []byte {
+		d := append([]byte(nil), data...)
+		d[i] = v
+		return d
+	}
+	cases := map[string][]byte{
+		"ntt-tagged payload": mut(off+3, 1),
+		"unknown flags":      mut(off+2, 0xF0),
+		"zero digits":        mut(off, 0),
+		"huge digits":        mut(off, 255),
+		"zero depth":         mut(off+1, 0),
+		"depth > limbs":      mut(off+1, 200),
+		"step zero":          mut(off+6, 0),
+		"truncated":          data[:len(data)-5],
+		"padded":             append(append([]byte(nil), data...), 0),
+		"wrong kind":         mut(5, 'P'),
+	}
+	for name, d := range cases {
+		if _, err := p.UnmarshalEvaluationKeySet(d); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// A residue pushed past its modulus: byte 10 of packed word 1 is in
+	// the always-zero bits 36..43 for 36-bit residues (cf. the key-blob
+	// sweep in the public tests).
+	bad := mut(evalHeaderLen(1)+10, 0xFF)
+	if _, err := p.UnmarshalEvaluationKeySet(bad); err == nil || !strings.Contains(err.Error(), "residue") {
+		t.Errorf("oversized residue: %v", err)
+	}
+
+	// Wrong-parameter import: a Tiny-spec blob against Test parameters.
+	tiny := TinyParams.MustBuild()
+	kgT := NewKeyGenerator(tiny, testSeed())
+	skT := kgT.GenSecretKey()
+	ksT := kgT.GenEvaluationKeySet(skT, 2, []int{1}, false)
+	dataT, err := tiny.MarshalEvaluationKeySet(ksT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.UnmarshalEvaluationKeySet(dataT); err == nil {
+		t.Error("accepted an evaluation-key blob from different parameters")
+	}
+}

@@ -1,0 +1,319 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// Evaluation-key wire format. Like the other key blobs (keyserialize.go)
+// it embeds the full ParamSpec, so a server can bootstrap from the bytes
+// alone, and packs residues at PackedWordBits. Unlike public/secret keys
+// it carries a sub-header describing the set's shape — gadget digit count,
+// depth cap, which rotation steps are present — because the receiver must
+// know the blob's geometry before allocating anything.
+//
+// Layout (little-endian), after the 13-byte key header (kind 'E'):
+//
+//	digits u8 | maxLevel u8 | flags u8 (bit0 relin, bit1 conjugate) |
+//	domain u8 (must be 0: coefficient) | rotCount u16 |
+//	rotCount × step u32 (strictly ascending, in [1, N/2)) |
+//	packed residues, PackedWordBits each, coefficient domain:
+//	  keys in order relin?, conjugate?, rotations (ascending step);
+//	  per key: for i < maxLevel, t < digits: K0[i][t] then K1[i][t],
+//	  each with maxLevel limbs.
+//
+// Switching keys live and compute in the NTT domain, but the wire keeps
+// the repo-wide convention that public bytes travel in the coefficient
+// domain: the marshaler INTTs each polynomial and the unmarshaler
+// transforms back (exact round trip — re-marshal is byte-identical). The
+// domain byte exists so a forged blob claiming NTT-domain payload is
+// rejected with a typed error instead of silently mis-interpreted.
+const (
+	// KeyKindEval is the evaluation-key discriminator at byte 5.
+	KeyKindEval byte = 'E'
+
+	evalFlagRelin = 1 << 0
+	evalFlagConj  = 1 << 1
+
+	// evalMaxRotations bounds the rotation count a header may claim (the
+	// step space itself is < N/2 ≤ 2^16, and the u16 count field matches).
+	evalMaxRotations = 1 << 16
+)
+
+// EvalKeyInfo describes an evaluation-key blob's geometry — everything
+// needed to compute its exact wire size from the header alone.
+type EvalKeyInfo struct {
+	Digits   int
+	MaxLevel int
+	HasRelin bool
+	HasConj  bool
+	Steps    []int // ascending, normalized
+}
+
+// keyCount is the number of switching keys the blob carries.
+func (info EvalKeyInfo) keyCount() int {
+	n := len(info.Steps)
+	if info.HasRelin {
+		n++
+	}
+	if info.HasConj {
+		n++
+	}
+	return n
+}
+
+func evalHeaderLen(rotCount int) int {
+	return keyHeaderLen() + 1 + 1 + 1 + 1 + 2 + 4*rotCount
+}
+
+// EvalKeyWireBytes computes the exact blob size implied by a spec and an
+// info block — from headers alone, without building Parameters, so
+// wire-facing constructors can reject length-mismatched blobs before
+// paying for prime generation or any payload-proportional allocation.
+func EvalKeyWireBytes(spec ParamSpec, info EvalKeyInfo) int {
+	n := 1 << uint(spec.LogN)
+	polys := info.keyCount() * info.MaxLevel * info.Digits * 2
+	return evalHeaderLen(len(info.Steps)) + (polys*info.MaxLevel*n*PackedWordBits+7)/8
+}
+
+// EvaluationKeyWireBytes reports the packed wire size of a key set at the
+// given depth with rotCount rotation steps (+ conjugation when conj).
+func (p *Parameters) EvaluationKeyWireBytes(maxLevel, rotCount int, conj bool) int {
+	steps := make([]int, rotCount)
+	return EvalKeyWireBytes(p.Spec(), EvalKeyInfo{
+		Digits: p.digitsPerLimb(), MaxLevel: maxLevel,
+		HasRelin: true, HasConj: conj, Steps: steps,
+	})
+}
+
+// ReadEvalKeyInfo parses and validates the headers of an evaluation-key
+// blob, returning the embedded spec and geometry. It never allocates
+// proportionally to attacker-claimed sizes (the steps slice is bounded by
+// the actual bytes present).
+func ReadEvalKeyInfo(data []byte) (ParamSpec, EvalKeyInfo, error) {
+	var info EvalKeyInfo
+	spec, kind, err := ReadKeySpec(data)
+	if err != nil {
+		return ParamSpec{}, info, err
+	}
+	if kind != KeyKindEval {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: kind 0x%02x, want 0x%02x", kind, KeyKindEval)
+	}
+	if len(data) < evalHeaderLen(0) {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: truncated sub-header")
+	}
+	off := keyHeaderLen()
+	info.Digits = int(data[off])
+	info.MaxLevel = int(data[off+1])
+	flags := data[off+2]
+	domain := data[off+3]
+	rotCount := int(binary.LittleEndian.Uint16(data[off+4:]))
+
+	if flags&^byte(evalFlagRelin|evalFlagConj) != 0 {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: unknown flag bits 0x%02x", flags)
+	}
+	info.HasRelin = flags&evalFlagRelin != 0
+	info.HasConj = flags&evalFlagConj != 0
+	if domain != 0 {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: NTT-tagged payload (domain byte 0x%02x); evaluation keys travel in the coefficient domain", domain)
+	}
+	if info.Digits < 1 || info.Digits > 64 {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: digit count %d out of range", info.Digits)
+	}
+	if info.MaxLevel < 1 || info.MaxLevel > spec.Limbs {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: depth %d not in [1, %d]", info.MaxLevel, spec.Limbs)
+	}
+	if rotCount >= evalMaxRotations {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: rotation count %d out of range", rotCount)
+	}
+	if len(data) < evalHeaderLen(rotCount) {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: truncated rotation table")
+	}
+	half := 1 << uint(spec.LogN-1)
+	info.Steps = make([]int, rotCount)
+	prev := 0
+	for i := range info.Steps {
+		s := int(binary.LittleEndian.Uint32(data[evalHeaderLen(i):]))
+		if s <= prev || s >= half {
+			return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: rotation step %d not ascending in [1, %d)", s, half)
+		}
+		info.Steps[i] = s
+		prev = s
+	}
+	return spec, info, nil
+}
+
+// marshalEvalPoly writes one switching-key polynomial (NTT domain, depth
+// limbs) in the coefficient domain through pooled scratch.
+func marshalEvalPoly(rl *ring.Ring, poly *ring.Poly, w *bitWriter) {
+	c := rl.GetPolyCopy(poly)
+	rl.INTT(c)
+	for i := range c.Coeffs {
+		for _, v := range c.Coeffs[i] {
+			w.write(v, PackedWordBits)
+		}
+	}
+	rl.PutPoly(c)
+}
+
+// MarshalEvaluationKeySet serializes ks in the packed evaluation-key wire
+// format. The encoding is canonical: rotation keys are ordered by
+// ascending step, and unmarshal∘marshal is the identity on valid blobs.
+func (p *Parameters) MarshalEvaluationKeySet(ks *EvaluationKeySet) ([]byte, error) {
+	if ks == nil {
+		return nil, fmt.Errorf("ckks: marshal eval keys: nil set")
+	}
+	if p.LimbBits > PackedWordBits {
+		return nil, fmt.Errorf("ckks: packed encoding needs limbs ≤ %d bits", PackedWordBits)
+	}
+	if ks.MaxLevel < 1 || ks.MaxLevel > p.MaxLevel() {
+		return nil, fmt.Errorf("ckks: marshal eval keys: depth %d out of range", ks.MaxLevel)
+	}
+	steps := ks.Steps()
+	info := EvalKeyInfo{
+		Digits: p.digitsPerLimb(), MaxLevel: ks.MaxLevel,
+		HasRelin: ks.Rlk != nil, HasConj: ks.Conj != nil, Steps: steps,
+	}
+
+	var ksks []*SwitchingKey
+	if ks.Rlk != nil {
+		ksks = append(ksks, ks.Rlk.K)
+	}
+	if ks.Conj != nil {
+		ksks = append(ksks, ks.Conj.K)
+	}
+	for _, s := range steps {
+		if s < 1 || s >= p.Slots() {
+			return nil, fmt.Errorf("ckks: marshal eval keys: rotation step %d out of range", s)
+		}
+		ksks = append(ksks, ks.Rot[s].K)
+	}
+	for _, ksk := range ksks {
+		if ksk.Level != ks.MaxLevel || ksk.Digits != info.Digits {
+			return nil, fmt.Errorf("ckks: marshal eval keys: key shape (level %d, digits %d) does not match set (level %d, digits %d)",
+				ksk.Level, ksk.Digits, ks.MaxLevel, info.Digits)
+		}
+	}
+
+	out := make([]byte, EvalKeyWireBytes(p.Spec(), info))
+	if err := p.putKeyHeader(out, KeyKindEval); err != nil {
+		return nil, err
+	}
+	off := keyHeaderLen()
+	out[off] = byte(info.Digits)
+	out[off+1] = byte(info.MaxLevel)
+	var flags byte
+	if info.HasRelin {
+		flags |= evalFlagRelin
+	}
+	if info.HasConj {
+		flags |= evalFlagConj
+	}
+	out[off+2] = flags
+	out[off+3] = 0 // coefficient-domain payload
+	binary.LittleEndian.PutUint16(out[off+4:], uint16(len(steps)))
+	for i, s := range steps {
+		binary.LittleEndian.PutUint32(out[evalHeaderLen(i):], uint32(s))
+	}
+
+	rl := p.RingAt(ks.MaxLevel)
+	w := newBitWriter(out[evalHeaderLen(len(steps)):])
+	for _, ksk := range ksks {
+		for i := 0; i < ks.MaxLevel; i++ {
+			for t := 0; t < info.Digits; t++ {
+				marshalEvalPoly(rl, ksk.K0[i][t], w)
+				marshalEvalPoly(rl, ksk.K1[i][t], w)
+			}
+		}
+	}
+	w.flush()
+	return out, nil
+}
+
+// unmarshalEvalPoly reads one depth-limb polynomial, validates every
+// residue, and transforms it back to the NTT domain the keys compute in.
+func unmarshalEvalPoly(rl *ring.Ring, r *bitReader) (*ring.Poly, error) {
+	poly := rl.NewPoly()
+	for i := range poly.Coeffs {
+		q := rl.Basis.Moduli[i].Q
+		for j := range poly.Coeffs[i] {
+			c := r.read(PackedWordBits)
+			if c >= q {
+				return nil, fmt.Errorf("ckks: unmarshal eval keys: residue %d ≥ q_%d", c, i)
+			}
+			poly.Coeffs[i][j] = c
+		}
+	}
+	rl.NTT(poly)
+	return poly, nil
+}
+
+// UnmarshalEvaluationKeySet reverses MarshalEvaluationKeySet, validating
+// the embedded spec against p, the geometry against the parameter set's
+// gadget, the blob length before any payload-proportional allocation, and
+// every residue against the modulus chain.
+func (p *Parameters) UnmarshalEvaluationKeySet(data []byte) (*EvaluationKeySet, error) {
+	spec, info, err := ReadEvalKeyInfo(data)
+	if err != nil {
+		return nil, err
+	}
+	if spec != p.Spec() {
+		return nil, fmt.Errorf("ckks: unmarshal eval keys: embedded spec %+v does not match parameters", spec)
+	}
+	if info.Digits != p.digitsPerLimb() {
+		return nil, fmt.Errorf("ckks: unmarshal eval keys: %d gadget digits, parameters use %d", info.Digits, p.digitsPerLimb())
+	}
+	if !info.HasRelin {
+		return nil, fmt.Errorf("ckks: unmarshal eval keys: set carries no relinearization key")
+	}
+	if len(data) != EvalKeyWireBytes(spec, info) {
+		return nil, fmt.Errorf("ckks: unmarshal eval keys: blob length %d does not match header geometry", len(data))
+	}
+
+	rl := p.RingAt(info.MaxLevel)
+	r := newBitReader(data[evalHeaderLen(len(info.Steps)):])
+	readKsk := func() (*SwitchingKey, error) {
+		ksk := &SwitchingKey{Digits: info.Digits, Level: info.MaxLevel}
+		ksk.K0 = make([][]*ring.Poly, info.MaxLevel)
+		ksk.K1 = make([][]*ring.Poly, info.MaxLevel)
+		for i := 0; i < info.MaxLevel; i++ {
+			ksk.K0[i] = make([]*ring.Poly, info.Digits)
+			ksk.K1[i] = make([]*ring.Poly, info.Digits)
+			for t := 0; t < info.Digits; t++ {
+				if ksk.K0[i][t], err = unmarshalEvalPoly(rl, r); err != nil {
+					return nil, err
+				}
+				if ksk.K1[i][t], err = unmarshalEvalPoly(rl, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ksk, nil
+	}
+
+	ks := &EvaluationKeySet{Rot: make(map[int]*RotationKey), MaxLevel: info.MaxLevel}
+	rlk, err := readKsk()
+	if err != nil {
+		return nil, err
+	}
+	ks.Rlk = &RelinearizationKey{K: rlk}
+	if info.HasConj {
+		g := p.GaloisElementConjugate()
+		k, err := readKsk()
+		if err != nil {
+			return nil, err
+		}
+		ks.Conj = &RotationKey{G: g, K: k, Perm: p.Ring().GaloisPermNTT(g)}
+	}
+	for _, s := range info.Steps {
+		g := p.GaloisElement(s)
+		k, err := readKsk()
+		if err != nil {
+			return nil, err
+		}
+		ks.Rot[s] = &RotationKey{G: g, K: k, Perm: p.Ring().GaloisPermNTT(g)}
+	}
+	return ks, nil
+}

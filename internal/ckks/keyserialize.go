@@ -74,7 +74,7 @@ func ReadKeySpec(data []byte) (ParamSpec, byte, error) {
 		return ParamSpec{}, 0, fmt.Errorf("ckks: key spec: unsupported version %d", data[4])
 	}
 	kind := data[5]
-	if kind != KeyKindPublic && kind != KeyKindSecret {
+	if kind != KeyKindPublic && kind != KeyKindSecret && kind != KeyKindEval {
 		return ParamSpec{}, 0, fmt.Errorf("ckks: key spec: unknown kind 0x%02x", kind)
 	}
 	spec := ParamSpec{

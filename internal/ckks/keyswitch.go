@@ -8,9 +8,9 @@ import (
 // Key switching via gadget (digit) decomposition — the server-side
 // machinery that makes ciphertext-ciphertext multiplication and slot
 // rotations possible. ABC-FHE itself never executes these (it is a client
-// accelerator), but a library a downstream user adopts needs the server
-// side of the protocol to exist; this is the "extension" scope DESIGN.md
-// lists.
+// accelerator), but the ciphertexts it produces are consumed by servers
+// that do — so the server half of the protocol is a first-class citizen
+// here, reachable through the public Server role.
 //
 // Construction (BV-style, no special modulus): to switch a polynomial c
 // from key f to key s, write c in the combined CRT × base-2^w gadget
@@ -22,9 +22,19 @@ import (
 //
 //	ksk_{i,t} = (-a·s + e + 2^{wt}·u_i·f,  a)
 //
-// and Apply computes (Σ d_{i,t}·ksk0, Σ d_{i,t}·ksk1). Noise grows by
+// and the switch computes (Σ d_{i,t}·ksk0, Σ d_{i,t}·ksk1). Noise grows by
 // ≈ 2^w·sqrt(L·T·N)·σ — kept below the scale by choosing w; production
 // systems use a raised modulus instead (documented trade-off).
+//
+// Hot-path structure: the inner loop (digit decompose → NTT → fused
+// multiply-accumulate) draws every scratch polynomial from the lanes
+// pools and dispatches limb-wise through the engine, so the steady state
+// allocates only the returned ciphertext and scales with workers like
+// encrypt/decode. Rotations run *hoisted*: the digit decomposition (and
+// its NTTs) is computed once per input ciphertext, and each Galois
+// element is applied to the decomposed digits as an NTT-domain gather
+// permutation (ring.MulPermAdd) — rotating one ciphertext by many steps
+// pays the decomposition once (see Evaluator.RotateHoisted).
 
 // DecompLogBase is the gadget digit width (w). 8 keeps switching noise
 // ≈2^15 at the test parameters — comfortably below every scale in use
@@ -33,10 +43,16 @@ import (
 const DecompLogBase = 8
 
 // SwitchingKey holds the gadget encryptions for one target polynomial.
+// Level is the depth the key supports: its polynomials carry Level limbs,
+// and the key can switch any ciphertext at level ≤ Level (prefix views) —
+// depth-capped keys are how evaluation-key blobs stay proportional to the
+// depth the server actually computes at (the gadget is quadratic in depth:
+// Level² · Digits · 2 polynomial limbs per key).
 type SwitchingKey struct {
-	// K0[i][t], K1[i][t]: the two halves of ksk_{i,t}, NTT domain, full depth.
+	// K0[i][t], K1[i][t]: the two halves of ksk_{i,t}, NTT domain, Level limbs.
 	K0, K1 [][]*ring.Poly
 	Digits int
+	Level  int
 }
 
 // digitsPerLimb is ceil(LimbBits / DecompLogBase).
@@ -44,20 +60,32 @@ func (p *Parameters) digitsPerLimb() int {
 	return (p.LimbBits + DecompLogBase - 1) / DecompLogBase
 }
 
-// GenSwitchingKey builds the key that moves ciphertext mass from key f to
-// the generator's secret s. f must be in the NTT domain at full depth.
+// GenSwitchingKey builds the full-depth key that moves ciphertext mass
+// from key f to the generator's secret s. f must be in the NTT domain with
+// at least MaxLevel limbs.
 func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, f *ring.Poly, streamBase uint64) *SwitchingKey {
-	p := kg.params
-	r := p.Ring()
-	T := p.digitsPerLimb()
-	L := p.MaxLevel()
+	return kg.GenSwitchingKeyAt(sk, f, kg.params.MaxLevel(), streamBase)
+}
 
-	ksk := &SwitchingKey{Digits: T}
-	ksk.K0 = make([][]*ring.Poly, L)
-	ksk.K1 = make([][]*ring.Poly, L)
+// GenSwitchingKeyAt is GenSwitchingKey capped at `depth` limbs: the key
+// can switch ciphertexts at any level ≤ depth. Sampling streams are
+// consumed limb-sequentially, so a depth-capped key is the limb prefix of
+// the full-depth key over the same stream base.
+func (kg *KeyGenerator) GenSwitchingKeyAt(sk *SecretKey, f *ring.Poly, depth int, streamBase uint64) *SwitchingKey {
+	p := kg.params
+	if depth < 1 || depth > p.MaxLevel() {
+		panic("ckks: switching-key depth out of range")
+	}
+	r := p.RingAt(depth)
+	T := p.digitsPerLimb()
+	skd := &ring.Poly{Coeffs: sk.S.Coeffs[:depth], IsNTT: true}
+
+	ksk := &SwitchingKey{Digits: T, Level: depth}
+	ksk.K0 = make([][]*ring.Poly, depth)
+	ksk.K1 = make([][]*ring.Poly, depth)
 
 	stream := streamBase
-	for i := 0; i < L; i++ {
+	for i := 0; i < depth; i++ {
 		ksk.K0[i] = make([]*ring.Poly, T)
 		ksk.K1[i] = make([]*ring.Poly, T)
 		for t := 0; t < T; t++ {
@@ -66,14 +94,15 @@ func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, f *ring.Poly, streamBase 
 			r.UniformPoly(prng.NewSource(kg.seed, stream), a)
 			a.IsNTT = true
 
-			e := r.NewPoly()
+			e := r.GetPolyUninit() // sampler fully overwrites
 			r.GaussianPoly(prng.NewSource(kg.seed, stream+1), e)
 			r.NTT(e)
 
 			b := r.NewPoly()
-			r.MulCoeffs(a, sk.S, b)
+			r.MulCoeffs(a, skd, b)
 			r.Neg(b, b)
 			r.Add(b, e, b)
+			r.PutPoly(e)
 
 			// + 2^{wt}·u_i·f : u_i is 1 on limb i and 0 elsewhere, so the
 			// gadget term only touches limb i.
@@ -92,51 +121,98 @@ func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, f *ring.Poly, streamBase 
 	return ksk
 }
 
-// decomposeDigitInto extracts digit t of c's limb i (coefficient domain),
-// expanded across all of out's limbs as a small non-negative poly. out is
-// fully overwritten (so a pooled poly can be reused across digits); the
-// per-limb expansion fans out across the lanes.
-func decomposeDigitInto(rl *ring.Ring, c *ring.Poly, i, t int, out *ring.Poly) {
-	shift := uint(DecompLogBase * t)
-	mask := uint64(1)<<DecompLogBase - 1
-	src := c.Coeffs[i]
-	rl.Engine().Run(out.Level(), func(k int) {
-		q := rl.Basis.Moduli[k].Q
-		ok := out.Coeffs[k]
-		for j, v := range src {
-			ok[j] = ((v >> shift) & mask) % q
-		}
-	})
-	out.IsNTT = false
+// hoistedDigits is a ciphertext's c1 in gadget-decomposed, NTT-domain form
+// — the expensive half of a key switch, computed once and reusable across
+// any number of Galois elements. All storage is pooled: release with
+// releaseDigits. dig[i·digits+t] is digit t of limb i.
+type hoistedDigits struct {
+	dig    []*ring.Poly
+	level  int
+	digits int
 }
 
-// applySwitch computes the key-switch of polynomial c (coefficient
-// domain, `level` limbs): returns (d0, d1) in the NTT domain such that
-// d0 + d1·s ≈ c·f.
-func (p *Parameters) applySwitch(c *ring.Poly, level int, ksk *SwitchingKey) (d0, d1 *ring.Poly) {
+// hoistDigits decomposes c (coefficient domain, `level` limbs) into its
+// gadget digits and transforms each — digits·level NTTs, paid once per
+// input ciphertext however many switches consume it. The whole pass is one
+// limb-major lane dispatch: lane k extracts and transforms row k of every
+// digit (rows are disjoint, so any worker count computes the same bytes).
+func (p *Parameters) hoistDigits(c *ring.Poly, level, digits int) *hoistedDigits {
 	rl := p.RingAt(level)
-	d0 = rl.GetPoly()
-	d1 = rl.GetPoly()
-	d0.IsNTT = true
-	d1.IsNTT = true
-
-	tmp := rl.GetPolyUninit() // MulCoeffs fully overwrites
-	dig := rl.GetPolyUninit() // decomposeDigitInto fully overwrites
-	for i := 0; i < level; i++ {
-		for t := 0; t < ksk.Digits; t++ {
-			decomposeDigitInto(rl, c, i, t, dig)
-			rl.NTT(dig)
-			k0 := &ring.Poly{Coeffs: ksk.K0[i][t].Coeffs[:level], IsNTT: true}
-			k1 := &ring.Poly{Coeffs: ksk.K1[i][t].Coeffs[:level], IsNTT: true}
-			rl.MulCoeffs(dig, k0, tmp)
-			rl.Add(d0, tmp, d0)
-			rl.MulCoeffs(dig, k1, tmp)
-			rl.Add(d1, tmp, d1)
-		}
+	h := &hoistedDigits{level: level, digits: digits, dig: make([]*ring.Poly, level*digits)}
+	for idx := range h.dig {
+		h.dig[idx] = rl.GetPolyUninit() // every row fully overwritten below
 	}
-	rl.PutPoly(tmp)
-	rl.PutPoly(dig)
-	return d0, d1
+	mask := uint64(1)<<DecompLogBase - 1
+	rl.Engine().Run(level, func(k int) {
+		q := rl.Basis.Moduli[k].Q
+		fwd := rl.Tables[k]
+		for i := 0; i < level; i++ {
+			src := c.Coeffs[i]
+			for t := 0; t < digits; t++ {
+				shift := uint(DecompLogBase * t)
+				row := h.dig[i*digits+t].Coeffs[k]
+				for j, v := range src {
+					row[j] = ((v >> shift) & mask) % q
+				}
+				fwd.Forward(row)
+			}
+		}
+	})
+	for _, d := range h.dig {
+		d.IsNTT = true
+	}
+	return h
+}
+
+// releaseDigits returns the decomposition's pooled storage.
+func (p *Parameters) releaseDigits(h *hoistedDigits) {
+	rl := p.RingAt(h.level)
+	for _, d := range h.dig {
+		rl.PutPoly(d)
+	}
+}
+
+// applyHoistedInto accumulates the key switch of the hoisted digits into
+// (acc0, acc1) — NTT domain, h.level limbs:
+//
+//	acc0 += Σ σ(d_{i,t})·K0[i][t],   acc1 += Σ σ(d_{i,t})·K1[i][t]
+//
+// where σ is the NTT-domain gather permutation (nil ⇒ identity). σ applied
+// to the *digits* is the hoisting identity: because u_i is a constant and
+// σ a ring automorphism, Σ σ(d)·2^{wt}u_i·σ(f) = σ(Σ d·2^{wt}u_i·f) =
+// σ(c·f) — the same result as decomposing σ(c), with the decomposition
+// (and its NTTs) paid once. One limb-major lane dispatch covers the whole
+// double loop (the per-limb fused gather-multiply-accumulate is
+// ring.MulPermAdd's kernel, inlined here so the digit loop stays inside
+// the lane task instead of paying a dispatch per digit).
+func (p *Parameters) applyHoistedInto(h *hoistedDigits, ksk *SwitchingKey, perm []int32, acc0, acc1 *ring.Poly) {
+	if h.level > ksk.Level {
+		panic("ckks: ciphertext level exceeds switching-key depth")
+	}
+	rl := p.RingAt(h.level)
+	rl.Engine().Run(h.level, func(k int) {
+		m := rl.Basis.Moduli[k]
+		a0, a1 := acc0.Coeffs[k], acc1.Coeffs[k]
+		for i := 0; i < h.level; i++ {
+			for t := 0; t < ksk.Digits; t++ {
+				d := h.dig[i*h.digits+t].Coeffs[k]
+				k0 := ksk.K0[i][t].Coeffs[k]
+				k1 := ksk.K1[i][t].Coeffs[k]
+				if perm == nil {
+					for j := range a0 {
+						a0[j] = m.Add(a0[j], m.Mul(d[j], k0[j]))
+						a1[j] = m.Add(a1[j], m.Mul(d[j], k1[j]))
+					}
+					continue
+				}
+				for j := range a0 {
+					dp := d[perm[j]]
+					a0[j] = m.Add(a0[j], m.Mul(dp, k0[j]))
+					a1[j] = m.Add(a1[j], m.Mul(dp, k1[j]))
+				}
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -146,21 +222,37 @@ func (p *Parameters) applySwitch(c *ring.Poly, level int, ksk *SwitchingKey) (d0
 // RelinearizationKey switches s² mass back to s.
 type RelinearizationKey struct{ K *SwitchingKey }
 
-// GenRelinearizationKey derives the relinearization key.
+// relinStreamBase seeds the relinearization key's sampling streams.
+const relinStreamBase = 1 << 50
+
+// GenRelinearizationKey derives the full-depth relinearization key.
 func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey {
-	r := kg.params.Ring()
-	s2 := r.NewPoly()
-	r.MulCoeffs(sk.S, sk.S, s2)
-	return &RelinearizationKey{K: kg.GenSwitchingKey(sk, s2, 1<<50)}
+	return kg.GenRelinearizationKeyAt(sk, kg.params.MaxLevel())
+}
+
+// GenRelinearizationKeyAt derives the relinearization key capped at
+// `depth` limbs (usable for MulRelin at levels ≤ depth).
+func (kg *KeyGenerator) GenRelinearizationKeyAt(sk *SecretKey, depth int) *RelinearizationKey {
+	r := kg.params.RingAt(depth)
+	skd := &ring.Poly{Coeffs: sk.S.Coeffs[:depth], IsNTT: true}
+	s2 := r.GetPolyUninit() // MulCoeffs fully overwrites
+	r.MulCoeffs(skd, skd, s2)
+	rlk := &RelinearizationKey{K: kg.GenSwitchingKeyAt(sk, s2, depth, relinStreamBase)}
+	r.PutPoly(s2)
+	return rlk
 }
 
 // MulRelin multiplies two ciphertexts and relinearizes the degree-2 term:
 // (a0,a1)·(b0,b1) → (a0b0 + ks0, a0b1 + a1b0 + ks1) where (ks0, ks1) is
 // the switched a1b1. The result's scale is the product of scales; rescale
-// afterwards.
+// afterwards. The operands' level must not exceed rlk's depth. All scratch
+// is pooled; only the returned ciphertext is freshly allocated.
 func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Ciphertext {
 	sameLevelScale(a, b)
 	level := a.Level
+	if level > rlk.K.Level {
+		panic("ckks: ciphertext level exceeds relinearization-key depth")
+	}
 	rl := ev.ringAt(level)
 
 	a0 := rl.GetPolyCopy(a.C0)
@@ -172,29 +264,25 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Cipher
 	rl.NTT(b0)
 	rl.NTT(b1)
 
-	c0 := rl.NewPoly()
+	c0 := rl.NewPoly() // returned — caller-owned, never pooled
 	c1 := rl.NewPoly()
-	c2 := rl.GetPoly()
-	rl.MulCoeffs(a0, b0, c0) // a0·b0
-	rl.MulCoeffs(a0, b1, c1) // a0·b1 + a1·b0
-	tmp := rl.GetPoly()
-	rl.MulCoeffs(a1, b0, tmp)
-	rl.Add(c1, tmp, c1)
-	rl.MulCoeffs(a1, b1, c2) // the degree-2 term
-	rl.PutPoly(tmp)
+	c2 := rl.GetPolyUninit()
+	rl.MulCoeffs(a0, b0, c0)    // a0·b0
+	rl.MulCoeffs(a0, b1, c1)    // a0·b1
+	rl.MulCoeffsAdd(a1, b0, c1) // + a1·b0
+	rl.MulCoeffs(a1, b1, c2)    // the degree-2 term
 	rl.PutPoly(a0)
 	rl.PutPoly(a1)
 	rl.PutPoly(b0)
 	rl.PutPoly(b1)
 
-	// Key-switch c2 (needs the coefficient domain for digit extraction).
+	// Key-switch c2 (digit extraction needs the coefficient domain), then
+	// accumulate directly into the result halves.
 	rl.INTT(c2)
-	d0, d1 := ev.params.applySwitch(c2, level, rlk.K)
+	h := ev.params.hoistDigits(c2, level, rlk.K.Digits)
 	rl.PutPoly(c2)
-	rl.Add(c0, d0, c0)
-	rl.Add(c1, d1, c1)
-	rl.PutPoly(d0)
-	rl.PutPoly(d1)
+	ev.params.applyHoistedInto(h, rlk.K, nil, c0, c1)
+	ev.params.releaseDigits(h)
 
 	rl.INTT(c0)
 	rl.INTT(c1)
@@ -205,30 +293,12 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Cipher
 // Rotations (Galois automorphisms)
 // ---------------------------------------------------------------------
 
-// automorphism applies X → X^g to a coefficient-domain polynomial:
-// coefficient j lands at (g·j mod 2N), negated when the index wraps past
-// N (X^N = -1).
+// automorphism applies X → X^g to a coefficient-domain polynomial into a
+// freshly allocated result (see ring.AutomorphismCoeff for the in-place
+// kernel the hot paths use).
 func automorphism(rl *ring.Ring, p *ring.Poly, g int) *ring.Poly {
-	if p.IsNTT {
-		panic("ckks: automorphism expects coefficient domain")
-	}
-	n := rl.N
 	out := rl.NewPoly()
-	for j := 0; j < n; j++ {
-		idx := (g * j) % (2 * n)
-		neg := false
-		if idx >= n {
-			idx -= n
-			neg = true
-		}
-		for i := range p.Coeffs {
-			v := p.Coeffs[i][j]
-			if neg {
-				v = rl.Basis.Moduli[i].Neg(v)
-			}
-			out.Coeffs[i][idx] = v
-		}
-	}
+	rl.AutomorphismCoeff(p, g, out)
 	return out
 }
 
@@ -237,10 +307,8 @@ func automorphism(rl *ring.Ring, p *ring.Poly, g int) *ring.Poly {
 func (p *Parameters) GaloisElement(k int) int {
 	m := 2 * p.N()
 	// order of 5 in (Z/2N)* is N/2; normalize k into [0, N/2).
-	half := p.N() / 2
-	k = ((k % half) + half) % half
 	g := 1
-	for i := 0; i < k; i++ {
+	for i, n := 0, p.NormalizeStep(k); i < n; i++ {
 		g = g * 5 % m
 	}
 	return g
@@ -249,38 +317,103 @@ func (p *Parameters) GaloisElement(k int) int {
 // GaloisElementConjugate is the generator of complex conjugation: -1 mod 2N.
 func (p *Parameters) GaloisElementConjugate() int { return 2*p.N() - 1 }
 
-// RotationKey enables rotation by one fixed Galois element.
-type RotationKey struct {
-	G int
-	K *SwitchingKey
+// NormalizeStep reduces a rotation step into [0, Slots): rotations act on
+// the N/2 message slots, and 5 has order N/2 in (Z/2N)*.
+func (p *Parameters) NormalizeStep(k int) int {
+	half := p.Slots()
+	return ((k % half) + half) % half
 }
 
-// GenRotationKey derives the key for Galois element g: it switches
-// s(X^g) mass back to s.
+// RotationKey enables rotation by one fixed Galois element. Perm is the
+// NTT-domain permutation realizing the automorphism on hoisted digits.
+type RotationKey struct {
+	G    int
+	K    *SwitchingKey
+	Perm []int32
+}
+
+// rotationStreamBase seeds a rotation key's sampling streams; Galois
+// elements are < 2N ≤ 2^18 and each switching key consumes well under 2^20
+// streams, so the per-element windows are disjoint (and disjoint from the
+// relinearization base at 2^50).
+func rotationStreamBase(g int) uint64 { return 1<<51 + uint64(g)<<20 }
+
+// GenRotationKey derives the full-depth key for Galois element g: it
+// switches s(X^g) mass back to s.
 func (kg *KeyGenerator) GenRotationKey(sk *SecretKey, g int) *RotationKey {
-	r := kg.params.Ring()
-	sCoeff := r.CopyPoly(sk.S)
+	return kg.GenRotationKeyAt(sk, g, kg.params.MaxLevel())
+}
+
+// GenRotationKeyAt derives the rotation key for Galois element g capped at
+// `depth` limbs.
+func (kg *KeyGenerator) GenRotationKeyAt(sk *SecretKey, g, depth int) *RotationKey {
+	r := kg.params.RingAt(depth)
+	skd := &ring.Poly{Coeffs: sk.S.Coeffs[:depth], IsNTT: true}
+	sCoeff := r.GetPolyCopy(skd)
 	r.INTT(sCoeff)
-	sg := automorphism(r, sCoeff, g)
+	sg := r.GetPolyUninit() // automorphism writes every index
+	r.AutomorphismCoeff(sCoeff, g, sg)
 	r.NTT(sg)
-	return &RotationKey{G: g, K: kg.GenSwitchingKey(sk, sg, 1<<51+uint64(g)<<20)}
+	rk := &RotationKey{
+		G:    g,
+		K:    kg.GenSwitchingKeyAt(sk, sg, depth, rotationStreamBase(g)),
+		Perm: kg.params.Ring().GaloisPermNTT(g),
+	}
+	r.PutPoly(sCoeff)
+	r.PutPoly(sg)
+	return rk
 }
 
 // RotateGalois applies the automorphism X → X^g and key-switches back to
-// s. With g = GaloisElement(k) this rotates the message slots by k.
+// s. With g = GaloisElement(k) this rotates the message slots by k. The
+// key switch runs on hoisted digits (the single-rotation degenerate case
+// of RotateHoisted); σ(c0) is applied in the coefficient domain.
 func (ev *Evaluator) RotateGalois(ct *Ciphertext, rk *RotationKey) *Ciphertext {
+	h := ev.params.hoistDigits(ct.C1, ct.Level, rk.K.Digits)
+	out := ev.rotateFromDigits(ct, h, rk)
+	ev.params.releaseDigits(h)
+	return out
+}
+
+// RotateHoisted rotates one ciphertext by every key in rks, paying the
+// digit decomposition (T·L NTTs) once: each additional rotation costs only
+// the O(N)-per-limb gather-multiply-accumulate and the closing transforms.
+// Results are index-aligned with rks.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rks []*RotationKey) []*Ciphertext {
+	if len(rks) == 0 {
+		return nil
+	}
+	h := ev.params.hoistDigits(ct.C1, ct.Level, rks[0].K.Digits)
+	out := make([]*Ciphertext, len(rks))
+	for i, rk := range rks {
+		if rk.K.Digits != rks[0].K.Digits {
+			panic("ckks: hoisted rotation keys disagree on digit count")
+		}
+		out[i] = ev.rotateFromDigits(ct, h, rk)
+	}
+	ev.params.releaseDigits(h)
+	return out
+}
+
+// rotateFromDigits finishes one rotation from a hoisted decomposition of
+// ct.C1: permuted key-switch accumulate, closing INTTs, and σ(c0).
+func (ev *Evaluator) rotateFromDigits(ct *Ciphertext, h *hoistedDigits, rk *RotationKey) *Ciphertext {
 	level := ct.Level
+	if level > rk.K.Level {
+		panic("ckks: ciphertext level exceeds rotation-key depth")
+	}
 	rl := ev.ringAt(level)
+	out0 := rl.NewPoly() // returned — caller-owned, never pooled
+	out1 := rl.NewPoly()
+	out0.IsNTT, out1.IsNTT = true, true
+	ev.params.applyHoistedInto(h, rk.K, rk.Perm, out0, out1)
+	rl.INTT(out0)
+	rl.INTT(out1)
 
-	c0g := automorphism(rl, ct.C0, rk.G)
-	c1g := automorphism(rl, ct.C1, rk.G)
+	c0g := rl.GetPolyUninit() // automorphism writes every index
+	rl.AutomorphismCoeff(ct.C0, rk.G, c0g)
+	rl.Add(out0, c0g, out0)
+	rl.PutPoly(c0g)
 
-	d0, d1 := ev.params.applySwitch(c1g, level, rk.K)
-	rl.NTT(c0g)
-	rl.Add(c0g, d0, c0g)
-	rl.INTT(c0g)
-	rl.INTT(d1)
-	rl.PutPoly(d0)
-
-	return &Ciphertext{C0: c0g, C1: d1, Level: level, Scale: ct.Scale}
+	return &Ciphertext{C0: out0, C1: out1, Level: level, Scale: ct.Scale}
 }

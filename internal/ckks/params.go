@@ -10,9 +10,12 @@
 // 36-bit "double-scale" RNS limb chains [Agrawal et al., the paper's
 // ref 1] so the hardware datapath stays at 44 bits.
 //
-// A small amount of server-side functionality (homomorphic addition,
-// plaintext multiplication, rescaling, level dropping) is included so the
-// examples can round-trip a realistic client → server → client flow.
+// Server-side functionality is included so a realistic client → server →
+// client flow exists end to end: keyless operations (homomorphic
+// addition, plaintext multiplication, rescaling, level dropping) and the
+// key-switching layer (relinearized ct×ct multiplication, hoisted Galois
+// rotations, evaluation-key generation and wire formats) the public
+// Server role builds on.
 package ckks
 
 import (

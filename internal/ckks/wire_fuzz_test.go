@@ -30,9 +30,10 @@ func fuzzSeedCorpus(t testing.TB) [][]byte {
 	seeded, _ := p.MarshalSeeded(sct)
 	pkData, _ := p.MarshalPublicKey(pk)
 	skData, _ := p.MarshalSecretKey(sk, seed)
+	evkData, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1}, true))
 
-	corpus := [][]byte{nil, []byte("ABCF"), word, packed, seeded, pkData, skData}
-	for _, d := range [][]byte{packed, pkData} {
+	corpus := [][]byte{nil, []byte("ABCF"), word, packed, seeded, pkData, skData, evkData}
+	for _, d := range [][]byte{packed, pkData, evkData} {
 		corpus = append(corpus, d[:len(d)/2])
 		flipped := append([]byte(nil), d...)
 		flipped[len(flipped)/3] ^= 0x40
@@ -79,11 +80,41 @@ func fuzzParse(t *testing.T, data []byte) {
 			t.Fatal("secret key re-marshal not canonical")
 		}
 	}
+	if ks, err := p.UnmarshalEvaluationKeySet(data); err == nil {
+		again, err := p.MarshalEvaluationKeySet(ks)
+		if err != nil {
+			t.Fatalf("accepted evaluation keys do not re-marshal: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatal("evaluation-key re-marshal not canonical")
+		}
+	}
 	_, _, _ = ReadKeySpec(data)
+	_, _, _ = ReadEvalKeyInfo(data)
 }
 
 func FuzzUnmarshalCiphertext(f *testing.F) {
 	for _, d := range fuzzSeedCorpus(f) {
+		f.Add(d)
+	}
+	f.Fuzz(fuzzParse)
+}
+
+// FuzzUnmarshalEvaluationKeys targets the evaluation-key parser: the
+// largest and most structured of the key formats (sub-header geometry,
+// rotation-step table, per-key payload). Accepted blobs must re-marshal
+// canonically (checked inside fuzzParse).
+func FuzzUnmarshalEvaluationKeys(f *testing.F) {
+	p := testParams
+	kg := NewKeyGenerator(p, testSeed())
+	sk := kg.GenSecretKey()
+	evk, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1, 3}, true))
+	f.Add(evk)
+	// Reach every sub-header branch: bit-flip the key header, the eval
+	// sub-header and the rotation-step table byte by byte.
+	for i := 0; i < evalHeaderLen(2) && i < len(evk); i++ {
+		d := append([]byte(nil), evk...)
+		d[i] ^= 1 << uint(i%8)
 		f.Add(d)
 	}
 	f.Fuzz(fuzzParse)

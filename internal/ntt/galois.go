@@ -1,0 +1,88 @@
+package ntt
+
+// Galois (automorphism) support in the NTT domain.
+//
+// The forward transform evaluates a polynomial at the N primitive 2N-th
+// roots ψ^{e_0..e_{N-1}} (the exponent ordering is an artifact of the
+// merged-ψ butterfly schedule). The ring automorphism σ_g : X → X^g maps
+// f to the polynomial with σ_g(f)(ψ^e) = f(ψ^{g·e}) — it permutes the
+// evaluation points, so in the NTT domain it is a pure index permutation:
+// no multiplications and, crucially, no sign corrections (the X^N = −1
+// wraps of the coefficient-domain automorphism are absorbed into the
+// evaluation points). This is what makes hoisted rotations cheap: digit
+// decompositions can be transformed once and re-rotated per Galois
+// element with an O(N) gather.
+//
+// The exponent ordering is recovered empirically rather than derived from
+// the butterfly schedule: transform the monomial X once — the output is
+// exactly (ψ^{e_j})_j — and take discrete logs against a ψ-power table.
+// That keeps this file correct under any internally-consistent transform
+// ordering, and the ring-level test pins PermuteNTT ∘ NTT against
+// NTT ∘ coefficient-automorphism.
+
+// galoisTables caches the exponent ordering of the transform.
+type galoisTables struct {
+	exps  []int32 // exps[j] = e_j with Forward(f)[j] = f(ψ^{e_j})
+	idxOf []int32 // idxOf[e] = j with e_j = e; -1 for exponents not hit
+}
+
+// galois lazily builds the exponent tables (one NTT of X plus a discrete
+// log over the 2N-element ψ-power group; O(N) time and memory, computed
+// once per table).
+func (t *Table) galois() *galoisTables {
+	t.galoisOnce.Do(func() {
+		m := t.Mod
+		n := t.N
+
+		// Discrete-log table over <ψ> (order 2N).
+		dlog := make(map[uint64]int32, 2*n)
+		pow := uint64(1)
+		for k := 0; k < 2*n; k++ {
+			dlog[pow] = int32(k)
+			pow = m.Mul(pow, t.Psi)
+		}
+
+		// NTT of the monomial X: output j is ψ^{e_j}.
+		mono := make([]uint64, n)
+		mono[1] = 1
+		t.Forward(mono)
+
+		g := &galoisTables{
+			exps:  make([]int32, n),
+			idxOf: make([]int32, 2*n),
+		}
+		for e := range g.idxOf {
+			g.idxOf[e] = -1
+		}
+		for j, v := range mono {
+			e, ok := dlog[v]
+			if !ok {
+				panic("ntt: transform of X is not a power of ψ")
+			}
+			g.exps[j] = e
+			g.idxOf[e] = int32(j)
+		}
+		t.galoisTab = g
+	})
+	return t.galoisTab
+}
+
+// GaloisPerm returns the NTT-domain permutation implementing X → X^g for
+// an odd Galois element g in (0, 2N): out[j] = in[perm[j]] maps the
+// transform of f to the transform of σ_g(f). The returned slice is owned
+// by the caller. The permutation depends only on the transform's exponent
+// schedule, not on the modulus, so one table's permutation is valid for
+// every limb of an RNS ring at the same degree.
+func (t *Table) GaloisPerm(g int) []int32 {
+	if g&1 == 0 || g <= 0 || g >= 2*t.N {
+		panic("ntt: Galois element must be odd in (0, 2N)")
+	}
+	gt := t.galois()
+	mask := int32(2*t.N - 1)
+	perm := make([]int32, t.N)
+	for j := range perm {
+		e := (int32(g) * gt.exps[j]) & mask
+		perm[j] = gt.idxOf[e]
+	}
+	return perm
+}

@@ -20,6 +20,7 @@ package ntt
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/mod"
 )
@@ -41,6 +42,10 @@ type Table struct {
 	PsiInvRev []uint64
 
 	NInv uint64 // N^{-1} mod q in Montgomery form
+
+	// Lazily-built Galois tables (galois.go); guarded by galoisOnce.
+	galoisOnce sync.Once
+	galoisTab  *galoisTables
 }
 
 // NewTable builds transform tables for degree N (a power of two ≥ 2) over

@@ -1,0 +1,102 @@
+package ring
+
+import (
+	"testing"
+)
+
+// TestPermuteNTTMatchesCoeffAutomorphism pins the load-bearing identity of
+// hoisted rotations: applying the automorphism as an NTT-domain gather is
+// exactly NTT ∘ coefficient-automorphism, for every limb, across a range
+// of Galois elements (including the conjugation element 2N−1).
+func TestPermuteNTTMatchesCoeffAutomorphism(t *testing.T) {
+	r := testRing(t)
+	n := r.N
+	for _, g := range []int{5, 25, 3, 2*n - 1, (5*5*5*5*5*5*5)%(2*n) | 1} {
+		p := r.NewPoly()
+		r.UniformPoly(src(uint64(g)), p)
+
+		// Reference: automorphism in the coefficient domain, then NTT.
+		want := r.NewPoly()
+		r.AutomorphismCoeff(p, g, want)
+		r.NTT(want)
+
+		// Hoisted path: NTT first, then the permutation gather.
+		pn := r.CopyPoly(p)
+		r.NTT(pn)
+		got := r.NewPoly()
+		r.PermuteNTT(pn, r.GaloisPermNTT(g), got)
+
+		if !r.Equal(want, got) {
+			t.Fatalf("g=%d: NTT-domain permutation disagrees with coefficient automorphism", g)
+		}
+	}
+}
+
+// TestGaloisPermIsPermutation: every index appears exactly once.
+func TestGaloisPermIsPermutation(t *testing.T) {
+	r := testRing(t)
+	for _, g := range []int{5, 2*r.N - 1} {
+		perm := r.GaloisPermNTT(g)
+		seen := make([]bool, r.N)
+		for _, j := range perm {
+			if j < 0 || int(j) >= r.N || seen[j] {
+				t.Fatalf("g=%d: not a permutation", g)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+// TestAutomorphismCoeffInvolution: conjugation (g = 2N−1) applied twice is
+// the identity, at every limb.
+func TestAutomorphismCoeffInvolution(t *testing.T) {
+	r := testRing(t)
+	g := 2*r.N - 1
+	p := r.NewPoly()
+	r.UniformPoly(src(7), p)
+	a, b := r.NewPoly(), r.NewPoly()
+	r.AutomorphismCoeff(p, g, a)
+	r.AutomorphismCoeff(a, g, b)
+	if !r.Equal(p, b) {
+		t.Fatal("conjugation automorphism is not an involution")
+	}
+}
+
+// TestMulPermAdd: the fused kernel against its unfused composition.
+func TestMulPermAdd(t *testing.T) {
+	r := testRing(t)
+	g := 5
+	a, b := r.NewPoly(), r.NewPoly()
+	r.UniformPoly(src(11), a)
+	r.UniformPoly(src(12), b)
+	r.NTT(a)
+	r.NTT(b)
+	perm := r.GaloisPermNTT(g)
+
+	acc := r.NewPoly()
+	acc.IsNTT = true
+	r.MulPermAdd(a, perm, b, acc)
+	r.MulPermAdd(a, nil, b, acc) // identity branch on top
+
+	// Unfused reference: permute, multiply, add (twice: permuted + plain).
+	want := r.NewPoly()
+	want.IsNTT = true
+	pa := r.NewPoly()
+	r.PermuteNTT(a, perm, pa)
+	tmp := r.NewPoly()
+	r.MulCoeffs(pa, b, tmp)
+	r.Add(want, tmp, want)
+	r.MulCoeffs(a, b, tmp)
+	r.Add(want, tmp, want)
+
+	if !r.Equal(want, acc) {
+		t.Fatal("MulPermAdd disagrees with permute+multiply+add")
+	}
+
+	// Domain guards.
+	c := r.NewPoly() // coefficient domain
+	mustPanic(t, func() { r.MulPermAdd(c, nil, b, acc) })
+	mustPanic(t, func() { r.PermuteNTT(c, perm, acc) })
+	mustPanic(t, func() { r.AutomorphismCoeff(a, g, acc) }) // a is NTT
+	mustPanic(t, func() { r.AutomorphismCoeff(c, 4, acc) }) // even g
+}

@@ -90,6 +90,51 @@ func (o *KeyOwner) ExportSecretKey() ([]byte, error) {
 	return o.params.MarshalSecretKey(o.secret, o.seed)
 }
 
+// EvalKeyConfig selects what KeyOwner.ExportEvaluationKeys generates.
+//
+// The BV gadget makes key size quadratic in depth — a depth-D set costs
+// (1 + rotations) · D² · digits · 2 packed polynomials — so export keys no
+// deeper than the circuit the server runs (MaxLevel) and only the
+// rotation steps it needs (Rotations; InnerSumRotations builds the
+// power-of-two ladder an inner sum or dot product consumes).
+type EvalKeyConfig struct {
+	// MaxLevel caps the depth of every key in the set; key-gated server
+	// operations work on ciphertexts at level ≤ MaxLevel. 0 means full
+	// depth — fine for small presets, hundreds of MB per rotation at the
+	// paper-scale ones.
+	MaxLevel int
+	// Rotations lists the slot steps to generate keys for (normalized
+	// cyclically, deduplicated; 0 is the identity and is skipped).
+	Rotations []int
+	// Conjugate additionally generates the complex-conjugation key.
+	Conjugate bool
+}
+
+// ExportEvaluationKeys generates and serializes an evaluation-key set for
+// a Server: the relinearization key (ct×ct multiplication) plus rotation
+// keys per cfg. The keys derive deterministically from the owner seed, so
+// re-export with the same config is byte-identical. The blob embeds the
+// parameter spec — a server can bootstrap from it alone
+// (NewServerFromEvaluationKeys).
+//
+// Evaluation keys do not decrypt, but they transform the owner's
+// ciphertexts; ship them to the evaluating server only. The encrypting
+// devices never need them (they hold just the public key), and the owner
+// itself never evaluates — which is why this is an export, not a field.
+func (o *KeyOwner) ExportEvaluationKeys(cfg EvalKeyConfig) ([]byte, error) {
+	maxLevel := cfg.MaxLevel
+	if maxLevel == 0 {
+		maxLevel = o.params.MaxLevel()
+	}
+	if maxLevel < 1 || maxLevel > o.params.MaxLevel() {
+		return nil, fmt.Errorf("%w: evaluation-key depth %d not in [1, %d]",
+			ErrLevelOutOfRange, maxLevel, o.params.MaxLevel())
+	}
+	ks := ckks.NewKeyGenerator(o.params, o.seed).
+		GenEvaluationKeySet(o.secret, maxLevel, cfg.Rotations, cfg.Conjugate)
+	return o.params.MarshalEvaluationKeySet(ks)
+}
+
 // DecryptDecode runs the inbound pipeline: decryption at the ciphertext's
 // level, allocation-free CRT combination and FFT decoding.
 func (o *KeyOwner) DecryptDecode(ct *Ciphertext) ([]complex128, error) {

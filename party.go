@@ -71,6 +71,28 @@ func paramsFromKeyBlob(blob []byte, wantKind byte, opts []Option) (*ckks.Paramet
 	return params, nil
 }
 
+// readEvalKeyBlob is the untrusted-bytes prologue shared by
+// Server.ImportEvaluationKeys and NewServerFromEvaluationKeys — the
+// evaluation-key sibling of paramsFromKeyBlob: parse the spec-embedding
+// header and the geometry sub-header, range-validate both, and verify the
+// blob length they imply, all before any payload-proportional work. The
+// geometry is attacker-controlled too: a forged header claiming a huge
+// depth or rotation table is rejected here, never allocated for.
+func readEvalKeyBlob(blob []byte) (ckks.ParamSpec, ckks.EvalKeyInfo, error) {
+	spec, info, err := ckks.ReadEvalKeyInfo(blob)
+	if err != nil {
+		return ckks.ParamSpec{}, ckks.EvalKeyInfo{}, wireErr(err)
+	}
+	if err := spec.Validate(); err != nil {
+		return ckks.ParamSpec{}, ckks.EvalKeyInfo{}, wireErr(err)
+	}
+	if len(blob) != ckks.EvalKeyWireBytes(spec, info) {
+		return ckks.ParamSpec{}, ckks.EvalKeyInfo{}, fmt.Errorf(
+			"%w: blob length %d does not match embedded spec", ErrMalformedWire, len(blob))
+	}
+	return spec, info, nil
+}
+
 // party is the substrate every role embeds: the parameter set, lane
 // engine ownership, and the byte-boundary helpers all three parties
 // share. Centralizing them here means a hardening change (validation in

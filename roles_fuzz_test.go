@@ -12,7 +12,7 @@ import (
 	"testing"
 )
 
-func fuzzKeyBlobs(t testing.TB) (pk, sk []byte) {
+func fuzzKeyBlobs(t testing.TB) (pk, sk, evk []byte) {
 	t.Helper()
 	owner, err := NewKeyOwner(Test, 0xFA2, 0xB17)
 	if err != nil {
@@ -24,7 +24,10 @@ func fuzzKeyBlobs(t testing.TB) (pk, sk []byte) {
 	if sk, err = owner.ExportSecretKey(); err != nil {
 		t.Fatal(err)
 	}
-	return pk, sk
+	if evk, err = owner.ExportEvaluationKeys(EvalKeyConfig{MaxLevel: 2, Rotations: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	return pk, sk, evk
 }
 
 func tryKeyBlob(data []byte) {
@@ -39,17 +42,28 @@ func tryKeyBlob(data []byte) {
 			panic("accepted secret key cannot re-export: " + err.Error())
 		}
 	}
+	if srv, evk, err := NewServerFromEvaluationKeys(data); err == nil {
+		// Accepted evaluation keys must describe themselves consistently.
+		if evk.MaxLevel() < 1 || evk.MaxLevel() > srv.MaxLevel() {
+			panic("accepted evaluation keys report an impossible depth")
+		}
+		_ = evk.RotationSteps()
+	}
 }
 
 func FuzzNewEncryptor(f *testing.F) {
-	pk, sk := fuzzKeyBlobs(f)
+	pk, sk, evk := fuzzKeyBlobs(f)
 	f.Add(pk)
 	f.Add(sk)
-	// One mutation per header byte so the corpus reaches every spec field.
-	for i := 0; i < 13 && i < len(pk); i++ {
-		d := append([]byte(nil), pk...)
-		d[i] ^= 0xFF
-		f.Add(d)
+	f.Add(evk)
+	// One mutation per header byte so the corpus reaches every spec field
+	// (19 covers the key header plus the evaluation sub-header).
+	for _, blob := range [][]byte{pk, evk} {
+		for i := 0; i < 19 && i < len(blob); i++ {
+			d := append([]byte(nil), blob...)
+			d[i] ^= 0xFF
+			f.Add(d)
+		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tryKeyBlob(data)
@@ -57,14 +71,20 @@ func FuzzNewEncryptor(f *testing.F) {
 }
 
 // TestKeyBlobHeaderSweep is the deterministic slice of FuzzNewEncryptor
-// that runs on every push: every header byte of both blob kinds driven
-// through adversarial values (zero, sign bits, all-ones, small deltas) —
-// this is exactly the class of input that used to panic inside prime
-// generation or demand GB-scale tables before the spec/length gates.
+// that runs on every push: every header byte of all three blob kinds
+// driven through adversarial values (zero, sign bits, all-ones, small
+// deltas) — this is exactly the class of input that used to panic inside
+// prime generation or demand GB-scale tables before the spec/length
+// gates. For the evaluation blob the swept range also covers the geometry
+// sub-header (digits, depth, flags, domain byte, rotation count/steps).
 func TestKeyBlobHeaderSweep(t *testing.T) {
-	pk, sk := fuzzKeyBlobs(t)
-	for _, blob := range [][]byte{pk, sk} {
-		for i := 0; i < 13; i++ {
+	pk, sk, evk := fuzzKeyBlobs(t)
+	for _, blob := range [][]byte{pk, sk, evk} {
+		headerBytes := 13
+		if blob[5] == 'E' {
+			headerBytes = 23 // key header + sub-header + first rotation step
+		}
+		for i := 0; i < headerBytes; i++ {
 			orig := blob[i]
 			// 0x2D/0x3D land limbBits in the forged (44, 61] window that
 			// passes range validation but that no marshaler can emit.

@@ -9,14 +9,25 @@ import (
 
 // Server is the keyless evaluation party: it expands compressed uploads
 // (regenerating c1 from the embedded 16-byte seed) and performs public
-// homomorphic operations — addition, plaintext/constant multiplication,
-// rescaling, level dropping. It never touches key material; everything it
-// needs arrives as ciphertext bytes.
+// homomorphic operations. It never touches decryption-capable key
+// material; everything it needs arrives as bytes — ciphertexts, and (for
+// the ct×ct and rotation surface) an evaluation-key blob the KeyOwner
+// exported with ExportEvaluationKeys.
 //
-// A Server is safe for concurrent use.
+// Two tiers of operations exist:
+//
+//   - Key-free: Add, Sub, Negate, MulConst, Rescale, DropLevel.
+//   - Key-gated: Mul (ct×ct with relinearization), Rotate / RotateMany /
+//     Conjugate (Galois automorphisms), InnerSum and DotPlain — each takes
+//     an *EvaluationKeys imported from the owner's blob, and returns
+//     ErrEvaluationKeyMissing when the set lacks the needed key.
+//
+// A Server is safe for concurrent use; EvaluationKeys are immutable after
+// import and may be shared across goroutines.
 type Server struct {
 	party
-	eval *ckks.Evaluator
+	eval    *ckks.Evaluator
+	encoder *ckks.Encoder // plaintext-side tooling for DotPlain (keyless)
 }
 
 // NewServer builds an evaluation party for the preset. The preset must
@@ -30,8 +41,72 @@ func NewServer(preset Preset, opts ...Option) (*Server, error) {
 	return newServer(params, true), nil
 }
 
+// NewServerFromEvaluationKeys bootstraps a server from nothing but an
+// evaluation-key blob: the embedded parameter spec reconstructs the
+// parameter set (exactly like NewEncryptor does from a public-key blob)
+// and the keys are imported in the same pass. This is the deployment
+// story's server half — one file from the key owner and the machine can
+// compute.
+func NewServerFromEvaluationKeys(evalKeys []byte, opts ...Option) (*Server, *EvaluationKeys, error) {
+	spec, _, err := readEvalKeyBlob(evalKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	params, err := buildParamsFromSpec(spec, opts)
+	if err != nil {
+		return nil, nil, wireErr(err)
+	}
+	srv := newServer(params, true)
+	evk, err := srv.ImportEvaluationKeys(evalKeys)
+	if err != nil {
+		srv.Close() // release the private lane engine WithWorkers installed
+		return nil, nil, err
+	}
+	return srv, evk, nil
+}
+
 func newServer(params *ckks.Parameters, owns bool) *Server {
-	return &Server{party: party{params: params, ownsParams: owns}, eval: ckks.NewEvaluator(params)}
+	return &Server{
+		party:   party{params: params, ownsParams: owns},
+		eval:    ckks.NewEvaluator(params),
+		encoder: ckks.NewEncoder(params),
+	}
+}
+
+// EvaluationKeys is an imported evaluation-key set: the relinearization
+// key plus the rotation keys the owner chose to export, validated against
+// the server's parameter set. It carries no decryption capability, but it
+// can transform the owner's ciphertexts — treat it as server-side
+// material (see DESIGN.md on why encrypting devices never hold it).
+type EvaluationKeys struct {
+	set *ckks.EvaluationKeySet
+}
+
+// MaxLevel is the depth cap the keys were generated at: key-gated
+// operations are limited to ciphertexts at level ≤ MaxLevel.
+func (k *EvaluationKeys) MaxLevel() int { return k.set.MaxLevel }
+
+// RotationSteps lists the rotation steps the set carries, ascending.
+func (k *EvaluationKeys) RotationSteps() []int { return k.set.Steps() }
+
+// HasConjugate reports whether the set carries the conjugation key.
+func (k *EvaluationKeys) HasConjugate() bool { return k.set.Conj != nil }
+
+// ImportEvaluationKeys parses an evaluation-key blob (from
+// KeyOwner.ExportEvaluationKeys), validating the embedded parameter spec
+// against the server's, the geometry against the gadget, and every
+// residue against the modulus chain. A blob from a different preset, a
+// truncated or bit-flipped blob, or one whose domain byte claims
+// NTT-tagged payload all return ErrMalformedWire.
+func (s *Server) ImportEvaluationKeys(data []byte) (*EvaluationKeys, error) {
+	if _, _, err := readEvalKeyBlob(data); err != nil {
+		return nil, err
+	}
+	set, err := s.params.UnmarshalEvaluationKeySet(data)
+	if err != nil {
+		return nil, wireErr(err)
+	}
+	return &EvaluationKeys{set: set}, nil
 }
 
 // ExpandCompressedUpload parses a seeded compressed upload and
@@ -109,6 +184,205 @@ func (s *Server) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
 	}
 	return s.eval.DropLevel(ct, level), nil
 }
+
+// ---------------------------------------------------------------------
+// Key-gated operations: ct×ct multiplication, rotations, reductions
+// ---------------------------------------------------------------------
+
+// validateEvalOperand is the shared prologue of the key-gated surface:
+// structural ciphertext checks, a non-nil key set, and the depth cap.
+func (s *Server) validateEvalOperand(ct *Ciphertext, evk *EvaluationKeys) error {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return err
+	}
+	if evk == nil {
+		return fmt.Errorf("%w: no evaluation-key set provided", ErrEvaluationKeyMissing)
+	}
+	if ct.Level > evk.set.MaxLevel {
+		return fmt.Errorf("%w: level %d exceeds the evaluation keys' depth %d (drop levels first, or export deeper keys)",
+			ErrLevelOutOfRange, ct.Level, evk.set.MaxLevel)
+	}
+	return nil
+}
+
+// rotationKey resolves a normalized step, typed-error on absence.
+func (s *Server) rotationKey(evk *EvaluationKeys, step int) (*ckks.RotationKey, error) {
+	rk := evk.set.Rot[step]
+	if rk == nil {
+		return nil, fmt.Errorf("%w: rotation step %d not in the exported set %v",
+			ErrEvaluationKeyMissing, step, evk.set.Steps())
+	}
+	return rk, nil
+}
+
+// Mul returns a ⊙ b — slot-wise ciphertext-ciphertext multiplication with
+// relinearization (the degree-2 term is key-switched back to a standard
+// RLWE pair using the set's relinearization key). The result's scale is
+// the product of the operands' scales: follow with Rescale (once, or
+// twice for the double-scale presets where Δ spans two limbs) before
+// further multiplicative depth. When reducing a product with rotations
+// (InnerSum), rotate first and rescale last — key-switch noise enters
+// additively at the current scale, so it is cheapest while the scale is
+// still Δ² (DotPlain sequences this way internally).
+func (s *Server) Mul(a, b *Ciphertext, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := s.validatePair(a, b); err != nil {
+		return nil, err
+	}
+	if err := s.validateEvalOperand(a, evk); err != nil {
+		return nil, err
+	}
+	if evk.set.Rlk == nil {
+		return nil, fmt.Errorf("%w: set carries no relinearization key", ErrEvaluationKeyMissing)
+	}
+	return s.eval.MulRelin(a, b, evk.set.Rlk), nil
+}
+
+// Rotate rotates the message slots by k (slot i of the result holds slot
+// i+k of the input, cyclically over the Slots() ring; k may be negative).
+// The set must carry the key for the normalized step.
+func (s *Server) Rotate(ct *Ciphertext, k int, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := s.validateEvalOperand(ct, evk); err != nil {
+		return nil, err
+	}
+	step := s.params.NormalizeStep(k)
+	if step == 0 {
+		return s.params.CopyCiphertext(ct), nil
+	}
+	rk, err := s.rotationKey(evk, step)
+	if err != nil {
+		return nil, err
+	}
+	return s.eval.RotateGalois(ct, rk), nil
+}
+
+// RotateMany rotates one ciphertext by every step at once on the hoisted
+// path: the gadget digit decomposition (and its NTTs — the dominant cost
+// of a rotation) is computed once and shared, so each additional step
+// costs only an O(N)-per-limb permuted multiply-accumulate. Results are
+// index-aligned with steps; a zero step yields a copy.
+func (s *Server) RotateMany(ct *Ciphertext, steps []int, evk *EvaluationKeys) ([]*Ciphertext, error) {
+	if err := s.validateEvalOperand(ct, evk); err != nil {
+		return nil, err
+	}
+	// Resolve every key up front: a missing step errors before any work.
+	rks := make([]*ckks.RotationKey, 0, len(steps))
+	hoistIdx := make([]int, 0, len(steps))
+	out := make([]*Ciphertext, len(steps))
+	for i, k := range steps {
+		step := s.params.NormalizeStep(k)
+		if step == 0 {
+			continue
+		}
+		rk, err := s.rotationKey(evk, step)
+		if err != nil {
+			return nil, err
+		}
+		rks = append(rks, rk)
+		hoistIdx = append(hoistIdx, i)
+	}
+	for i, ct2 := range s.eval.RotateHoisted(ct, rks) {
+		out[hoistIdx[i]] = ct2
+	}
+	for i := range out {
+		if out[i] == nil {
+			out[i] = s.params.CopyCiphertext(ct)
+		}
+	}
+	return out, nil
+}
+
+// Conjugate applies slot-wise complex conjugation (the Galois element
+// −1 mod 2N). The set must have been exported with Conjugate: true.
+func (s *Server) Conjugate(ct *Ciphertext, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := s.validateEvalOperand(ct, evk); err != nil {
+		return nil, err
+	}
+	if evk.set.Conj == nil {
+		return nil, fmt.Errorf("%w: set carries no conjugation key", ErrEvaluationKeyMissing)
+	}
+	return s.eval.RotateGalois(ct, evk.set.Conj), nil
+}
+
+// InnerSum replaces every slot i with the sum of the span slots i..i+span−1
+// (cyclically): after an element-wise Mul this turns slot 0 into a dot
+// product. span must be a power of two in [1, Slots()], and the set must
+// carry the power-of-two rotation ladder 1, 2, …, span/2 (see
+// InnerSumRotations). Log-depth: log2(span) rotate-and-add steps. When
+// combined with Mul, run InnerSum before Rescale — rotation noise is
+// additive at the current scale (see Mul).
+func (s *Server) InnerSum(ct *Ciphertext, span int, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := s.validateEvalOperand(ct, evk); err != nil {
+		return nil, err
+	}
+	if span < 1 || span > s.params.Slots() || span&(span-1) != 0 {
+		return nil, fmt.Errorf("%w: inner-sum span %d is not a power of two in [1, %d]",
+			ErrInvalidSpan, span, s.params.Slots())
+	}
+	// Resolve the whole ladder before computing anything.
+	for st := 1; st < span; st <<= 1 {
+		if _, err := s.rotationKey(evk, st); err != nil {
+			return nil, err
+		}
+	}
+	if span == 1 {
+		return s.params.CopyCiphertext(ct), nil
+	}
+	acc := ct
+	for st := 1; st < span; st <<= 1 {
+		rk := evk.set.Rot[st]
+		acc = s.eval.Add(acc, s.eval.RotateGalois(acc, rk))
+	}
+	return acc, nil
+}
+
+// DotPlain computes the inner product of the encrypted vector with a
+// plaintext weight vector — the encrypted half of a linear layer: the
+// weights are encoded at the ciphertext's level and multiplied in
+// slot-wise, the products are reduced with InnerSum over the next power
+// of two ≥ len(weights) (the padding slots contribute only the weights'
+// zeros), and one closing Rescale consumes the weights' scale. The
+// rotations run *before* the rescale on purpose: key-switch noise is
+// additive at the current scale, so it is spent while the scale is still
+// ct.Scale·Δ. Slot 0 of the result holds Σ weights[j]·x[j]; the scale is
+// ct.Scale·Δ/q_last. Requires 2 ≤ ct.Level ≤ evk.MaxLevel() and the
+// rotation ladder for the padded span.
+func (s *Server) DotPlain(ct *Ciphertext, weights []complex128, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := s.validateEvalOperand(ct, evk); err != nil {
+		return nil, err
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: empty weight vector", ErrInvalidSpan)
+	}
+	if err := validateMessage(s.params, weights); err != nil {
+		return nil, err
+	}
+	if ct.Level < 2 {
+		return nil, fmt.Errorf("%w: DotPlain rescales once, needs level ≥ 2", ErrLevelOutOfRange)
+	}
+	span := 1
+	for span < len(weights) {
+		span <<= 1
+	}
+	for st := 1; st < span; st <<= 1 {
+		if _, err := s.rotationKey(evk, st); err != nil {
+			return nil, err
+		}
+	}
+
+	pt := s.encoder.EncodeAtLevel(weights, ct.Level)
+	prod := s.eval.MulPlain(ct, pt)
+	s.params.PutPlaintext(pt)
+	sum, err := s.InnerSum(prod, span, evk)
+	if err != nil {
+		return nil, err
+	}
+	return s.eval.Rescale(sum), nil
+}
+
+// InnerSumRotations returns the power-of-two rotation-step ladder
+// {1, 2, 4, …, span/2} that InnerSum over span slots consumes — pass it
+// to EvalKeyConfig.Rotations when exporting keys.
+func InnerSumRotations(span int) []int { return ckks.InnerSumRotations(span) }
 
 // Evaluator exposes the low-level keyless evaluator (plaintext operands,
 // panicking misuse semantics) for call sites that have already validated
