@@ -150,9 +150,10 @@ func runEvalKeys(args []string) error {
 	fs := flag.NewFlagSet("evalkeys", flag.ContinueOnError)
 	skPath := fs.String("sk", "sk.key", "secret-key blob from `abc-fhe keygen`")
 	outPath := fs.String("out", "evk.bin", "output path for the evaluation-key blob (ship to the server)")
-	maxLevel := fs.Int("max-level", 0, "depth cap for the keys (0 = full depth; key size is quadratic in depth)")
+	maxLevel := fs.Int("max-level", 0, "depth cap for the keys (0 = full depth)")
 	rotations := fs.String("rotations", "", "comma-separated rotation steps, e.g. 1,2,4 (innersum over n slots needs 1..n/2 powers of two)")
 	conj := fs.Bool("conjugate", false, "also generate the complex-conjugation key")
+	gadgetName := fs.String("gadget", "auto", "key-switching gadget: auto (hybrid where supported), hybrid, or bv")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,10 +182,22 @@ func runEvalKeys(args []string) error {
 			}
 		}
 	}
+	var gadget abcfhe.GadgetType
+	switch *gadgetName {
+	case "auto":
+		gadget = abcfhe.GadgetAuto
+	case "hybrid":
+		gadget = abcfhe.GadgetHybrid
+	case "bv":
+		gadget = abcfhe.GadgetBV
+	default:
+		return fmt.Errorf("evalkeys: -gadget must be auto, hybrid or bv (got %q)", *gadgetName)
+	}
 	evk, err := owner.ExportEvaluationKeys(abcfhe.EvalKeyConfig{
 		MaxLevel:  *maxLevel,
 		Rotations: steps,
 		Conjugate: *conj,
+		Gadget:    gadget,
 	})
 	if err != nil {
 		return err

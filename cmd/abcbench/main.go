@@ -10,6 +10,15 @@
 //	abcbench -exp fig5a -cpu     # also measure the Go CKKS client here
 //	abcbench -list               # list experiment ids
 //	abcbench -exp table2 -csv    # CSV instead of an aligned table
+//
+// Benchmark-regression gate (the CI `bench-check` step):
+//
+//	abcbench -check -out BENCH_5.json -budget bench_budget.json
+//
+// runs the MulRelin (hybrid vs BV at max level on PN15), Rotate,
+// DecryptDecode and EncodeEncrypt benchmarks, writes the JSON report, and
+// exits non-zero when allocs/op or evaluation-key blob bytes regress past
+// the committed budgets — or when hybrid stops beating BV.
 package main
 
 import (
@@ -27,11 +36,21 @@ func main() {
 	cpu := flag.Bool("cpu", false, "additionally measure the pure-Go CKKS client on this host")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	check := flag.Bool("check", false, "run the benchmark-regression gate instead of experiments")
+	checkOut := flag.String("out", "BENCH_5.json", "bench-check: report output path")
+	checkBudget := flag.String("budget", "bench_budget.json", "bench-check: committed budget file")
 	flag.Parse()
 
 	if *list {
 		for _, id := range bench.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *check {
+		if err := bench.RunBenchCheck(*checkOut, *checkBudget, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "abcbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

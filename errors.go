@@ -43,6 +43,10 @@ var (
 	// ErrInvalidSpan: an inner-sum span is not a power of two within the
 	// slot count.
 	ErrInvalidSpan = errors.New("abcfhe: invalid slot span")
+	// ErrGadgetUnsupported: an evaluation-key gadget was requested that
+	// the parameter set cannot host (hybrid key switching on a set
+	// without special primes, or an unknown selector).
+	ErrGadgetUnsupported = errors.New("abcfhe: key-switching gadget unsupported by parameter set")
 )
 
 // wireErr brands a deserialization failure with ErrMalformedWire while

@@ -32,14 +32,14 @@ func TestMalformedKeyBytes(t *testing.T) {
 	// Payload byte 10 sits entirely in bits 36..43 of packed word 1 —
 	// always zero for 36-bit residues in 44-bit words — so flipping it is
 	// guaranteed to push a residue past its modulus. The public blob's
-	// payload starts after the 13-byte key header, the secret blob's after
+	// payload starts after the 14-byte key header, the secret blob's after
 	// header + 16-byte seed.
 	cases := map[string][]byte{
 		"empty":       nil,
 		"garbage":     []byte("not a key at all"),
 		"truncated":   pkBytes[:len(pkBytes)/2],
 		"bad magic":   append([]byte("XXXX"), pkBytes[4:]...),
-		"bit flipped": flipByte(pkBytes, 13+10),
+		"bit flipped": flipByte(pkBytes, 14+10),
 	}
 	for name, data := range cases {
 		if _, err := NewEncryptor(data, 1, 2); !errors.Is(err, ErrMalformedWire) {
@@ -53,7 +53,7 @@ func TestMalformedKeyBytes(t *testing.T) {
 	if _, err := NewKeyOwnerFromSecretKey(pkBytes); !errors.Is(err, ErrMalformedWire) {
 		t.Errorf("NewKeyOwnerFromSecretKey(public blob): %v", err)
 	}
-	if _, err := NewKeyOwnerFromSecretKey(flipByte(skBytes, 13+16+10)); !errors.Is(err, ErrMalformedWire) {
+	if _, err := NewKeyOwnerFromSecretKey(flipByte(skBytes, 14+16+10)); !errors.Is(err, ErrMalformedWire) {
 		t.Errorf("NewKeyOwnerFromSecretKey(bit flipped): %v", err)
 	}
 }

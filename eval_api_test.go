@@ -464,7 +464,7 @@ func TestEvalKeyBlobMisuse(t *testing.T) {
 		"empty":            nil,
 		"garbage":          []byte("ABCF with nothing useful behind it"),
 		"different preset": otherBlob,
-		"ntt-tagged":       flip(13 + 3), // domain byte in the sub-header
+		"ntt-tagged":       flip(14 + 4), // domain byte in the sub-header
 		"truncated":        good[:len(good)/2],
 		"padded":           append(append([]byte(nil), good...), 0),
 		"public key blob":  func() []byte { d, _ := owner.ExportPublicKey(); return d }(),

@@ -1,0 +1,197 @@
+package abcfhe
+
+// Gadget cross-compatibility matrix: the hybrid (P·Q) and BV key-switching
+// gadgets must interoperate at the deployment level. One key owner (one
+// seed) exports both kinds of evaluation-key blobs; two independent
+// servers — one holding BV keys, one holding hybrid keys — run the same
+// Mul → Rotate → InnerSum pipeline on identical ciphertext bytes, and both
+// replies decrypt within the precision floor. Replaying a hybrid blob into
+// a BV-expecting deployment (a parameter set without special primes) is a
+// typed error, never a panic.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/ckks"
+)
+
+// gadgetPipeline runs the shared compute: slot-wise square, rotate by 1,
+// inner-sum over 4 slots, then the preset's rescales — returning the
+// serialized reply.
+func gadgetPipeline(t *testing.T, server *Server, evk *EvaluationKeys, upload []byte) []byte {
+	t.Helper()
+	ct, err := server.DeserializeCiphertext(upload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err = server.DropLevel(ct, evk.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := server.Mul(ct, ct, evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := server.Rotate(prod, 1, evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := server.InnerSum(rot, 4, evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rescalesAfterMul(Test); i++ {
+		if sum, err = server.Rescale(sum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reply, err := server.SerializeCiphertext(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestGadgetCrossCompatibilityMatrix(t *testing.T) {
+	owner, err := NewKeyOwner(Test, 0x6AD6, 0xE7C0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EvalKeyConfig{MaxLevel: 4, Rotations: []int{1, 2}}
+
+	cfg.Gadget = GadgetBV
+	bvBlob, err := owner.ExportEvaluationKeys(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gadget = GadgetHybrid
+	hyBlob, err := owner.ExportEvaluationKeys(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gadget = GadgetAuto
+	autoBlob, err := owner.ExportEvaluationKeys(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hyBlob, autoBlob) {
+		t.Fatal("GadgetAuto did not select hybrid on a preset with special primes")
+	}
+	if len(hyBlob) >= len(bvBlob) {
+		t.Fatalf("hybrid blob %d bytes not smaller than BV %d for the same depth/rotations",
+			len(hyBlob), len(bvBlob))
+	}
+
+	// The encrypting device knows nothing about gadgets.
+	pkBytes, err := owner.ExportPublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := NewEncryptor(pkBytes, 0xFACE, 0xF00D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMsgs(device.Slots(), 1)[0]
+	ct, err := device.EncodeEncrypt(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upload, err := device.SerializeCiphertext(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two servers, each bootstrapped from its own blob.
+	srvBV, evkBV, err := NewServerFromEvaluationKeys(bvBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvHy, evkHy, err := NewServerFromEvaluationKeys(hyBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evkBV.Gadget() != GadgetBV || evkHy.Gadget() != GadgetHybrid {
+		t.Fatalf("imported gadgets (%v, %v)", evkBV.Gadget(), evkHy.Gadget())
+	}
+
+	replyBV := gadgetPipeline(t, srvBV, evkBV, upload)
+	replyHy := gadgetPipeline(t, srvHy, evkHy, upload)
+
+	// Clear-text reference: slot j of the reply holds
+	// Σ_{m<4} (msg·msg rotated by 1)[j+m].
+	slots := owner.Slots()
+	want := make([]complex128, slots)
+	for j := 0; j < slots; j++ {
+		for m := 0; m < 4; m++ {
+			v := msg[(j+m+1)%slots]
+			want[j] += v * v
+		}
+	}
+	floor := 11.0 // the Test preset's structural Δ=2^30 cap (see eval_api_test)
+	for name, reply := range map[string][]byte{"bv": replyBV, "hybrid": replyHy} {
+		replyCt, err := owner.DeserializeCiphertext(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := owner.DecryptDecode(replyCt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := ckks.MeasurePrecision(want, got)
+		t.Logf("%s pipeline: worst-slot %.2f bits (mean %.2f)", name, stats.WorstBits, stats.MeanBits)
+		if stats.WorstBits < floor {
+			t.Fatalf("%s pipeline: %.2f bits below floor %.0f", name, stats.WorstBits, floor)
+		}
+	}
+}
+
+// TestHybridBlobIntoBVExpectingPath: a deployment whose parameter set has
+// no special primes (SpecialLimbs = 0 — the only kind of server that
+// cannot host hybrid keys) must reject a hybrid blob with a typed error,
+// never a panic. The spec byte alone already separates the two (a
+// no-specials server embeds SpecialLimbs 0 in its own exports), and the
+// gadget byte makes the mismatch explicit even under a forged spec.
+func TestHybridBlobIntoBVExpectingPath(t *testing.T) {
+	owner, err := NewKeyOwner(Test, 0xBEEF, 0xCAFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyBlob, err := owner.ExportEvaluationKeys(EvalKeyConfig{MaxLevel: 2, Gadget: GadgetHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A BV-only parameter set: the Test spec stripped of special primes.
+	bare := ckks.TestParams
+	bare.SpecialLimbs = 0
+	params, err := bare.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := params.UnmarshalEvaluationKeySet(hyBlob); err == nil {
+		t.Fatal("no-specials parameters accepted a hybrid blob")
+	}
+
+	// Forging the spec's specialLimbs byte to 0 (to masquerade as a BV-era
+	// blob) must trip the gadget/geometry gates, not a panic.
+	forged := append([]byte(nil), hyBlob...)
+	forged[13] = 0
+	if _, err := params.UnmarshalEvaluationKeySet(forged); err == nil {
+		t.Fatal("forged-spec hybrid blob accepted")
+	}
+	srv := &Server{party: party{params: params, ownsParams: true}}
+	if _, err := srv.ImportEvaluationKeys(forged); !errors.Is(err, ErrMalformedWire) {
+		t.Fatalf("public import of forged hybrid blob: %v", err)
+	}
+	if _, err := srv.ImportEvaluationKeys(hyBlob); !errors.Is(err, ErrMalformedWire) {
+		t.Fatalf("public import of hybrid blob into no-specials server: %v", err)
+	}
+
+	// And the owner-side guard: requesting hybrid keys from a no-specials
+	// deployment is a typed config error.
+	if _, err := resolveGadget(GadgetHybrid, params); !errors.Is(err, ErrGadgetUnsupported) {
+		t.Fatalf("resolveGadget(hybrid, no specials): %v", err)
+	}
+}

@@ -1,0 +1,262 @@
+// Benchmark-regression gate (the `abcbench -check` mode CI runs): execute
+// the key-switch and client-pipeline benchmarks, write a machine-readable
+// BENCH_5.json report, and fail when an allocation count or evaluation-key
+// blob size regresses past the budgets committed in bench_budget.json.
+//
+// Wall-clock numbers are recorded but only gated *relatively* (hybrid
+// MulRelin must beat BV at max level on PN15, the structural claim hybrid
+// key switching exists for) — absolute ns/op budgets would flap with CI
+// hardware, while allocs/op and wire bytes are deterministic.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/ckks"
+	"repro/internal/prng"
+)
+
+// BenchRecord is one row of BENCH_5.json.
+type BenchRecord struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	BlobBytes   int64   `json:"evk_blob_bytes,omitempty"`
+}
+
+// BenchReport is the BENCH_5.json document.
+type BenchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	Records   []BenchRecord `json:"records"`
+}
+
+// budgetEntry is one committed ceiling in bench_budget.json, keyed by op.
+type budgetEntry struct {
+	MaxAllocsPerOp int64 `json:"max_allocs_per_op,omitempty"`
+	MaxBlobBytes   int64 `json:"max_evk_blob_bytes,omitempty"`
+}
+
+func benchMsg(p *ckks.Parameters) []complex128 {
+	msg := make([]complex128, p.Slots())
+	src := prng.NewSource(prng.SeedFromUint64s(1, 2), 0)
+	for i := range msg {
+		msg[i] = complex(src.Float64()-0.5, src.Float64()-0.5)
+	}
+	return msg
+}
+
+func record(name string, r testing.BenchmarkResult) BenchRecord {
+	return BenchRecord{
+		Op:          name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// gateSeed derives the deterministic key seed the gate benchmarks use.
+func gateSeed() [16]byte { return prng.SeedFromUint64s(0xB5, 0xC4) }
+
+// loadBudgets parses a bench_budget.json file. Underscore-prefixed keys
+// are free-form comments and are dropped.
+func loadBudgets(path string) (map[string]budgetEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	budgets := make(map[string]budgetEntry, len(raw))
+	for op, msg := range raw {
+		if strings.HasPrefix(op, "_") {
+			continue
+		}
+		var b budgetEntry
+		if err := json.Unmarshal(msg, &b); err != nil {
+			return nil, fmt.Errorf("parsing %s entry %q: %w", path, op, err)
+		}
+		budgets[op] = b
+	}
+	return budgets, nil
+}
+
+// budgetFailures compares a report against the committed budgets. A budget
+// naming an op the gate no longer measures is itself a failure (the gate
+// silently losing coverage must not pass); underscore-prefixed keys are
+// comments.
+func budgetFailures(report BenchReport, budgets map[string]budgetEntry) []string {
+	var failures []string
+	seen := map[string]bool{}
+	for _, r := range report.Records {
+		seen[r.Op] = true
+		b, ok := budgets[r.Op]
+		if !ok {
+			continue
+		}
+		if b.MaxAllocsPerOp > 0 && r.AllocsPerOp > b.MaxAllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds budget %d",
+				r.Op, r.AllocsPerOp, b.MaxAllocsPerOp))
+		}
+		if b.MaxBlobBytes > 0 && r.BlobBytes > b.MaxBlobBytes {
+			failures = append(failures, fmt.Sprintf("%s: blob %d B exceeds budget %d",
+				r.Op, r.BlobBytes, b.MaxBlobBytes))
+		}
+	}
+	for op := range budgets {
+		if !seen[op] && !strings.HasPrefix(op, "_") {
+			failures = append(failures, fmt.Sprintf("budget entry %q matches no measured op", op))
+		}
+	}
+	return failures
+}
+
+// RunBenchCheck executes the gate, writes the report to outPath, and
+// compares it against the budgets at budgetPath. Progress and the verdict
+// go to w. A nil error means every gate passed.
+func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
+	// Load budgets first: a missing or malformed budget file must fail in
+	// milliseconds, not after the PN15 benchmarks.
+	budgets, err := loadBudgets(budgetPath)
+	if err != nil {
+		return fmt.Errorf("bench-check: %w", err)
+	}
+	report := BenchReport{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	add := func(r BenchRecord) {
+		report.Records = append(report.Records, r)
+		if r.BlobBytes != 0 {
+			fmt.Fprintf(w, "  %-22s %12d blob bytes\n", r.Op, r.BlobBytes)
+			return
+		}
+		fmt.Fprintf(w, "  %-22s %14.0f ns/op  %6d allocs/op  %10d B/op\n",
+			r.Op, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	// --- Client pipeline (Test preset): EncodeEncrypt / DecryptDecode ---
+	pTest := ckks.TestParams.MustBuild()
+	kgT := ckks.NewKeyGenerator(pTest, gateSeed())
+	skT, pkT := kgT.GenKeyPair()
+	encT := ckks.NewEncoder(pTest)
+	encryptorT := ckks.NewEncryptor(pTest, pkT, gateSeed())
+	decT := ckks.NewDecryptor(pTest, skT)
+	msgT := benchMsg(pTest)
+	evT := ckks.NewEvaluator(pTest)
+
+	add(record("EncodeEncrypt", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pt := encT.Encode(msgT)
+			encryptorT.Encrypt(pt)
+			pTest.PutPlaintext(pt)
+		}
+	})))
+
+	low := evT.DropLevel(encryptorT.Encrypt(encT.Encode(msgT)), 2)
+	out := make([]complex128, pTest.Slots())
+	add(record("DecryptDecode", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pt := decT.Decrypt(low)
+			encT.DecodeInto(pt, out)
+			pTest.PutPlaintext(pt)
+		}
+	})))
+
+	// --- Rotations (Test preset, max level), both gadgets ---
+	ctT := encryptorT.Encrypt(encT.Encode(msgT))
+	g1 := pTest.GaloisElement(1)
+	rotHy := kgT.GenRotationKeyHybridAt(g1, pTest.MaxLevel())
+	add(record("RotateHybrid", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evT.RotateGalois(ctT, rotHy)
+		}
+	})))
+	rotBV := kgT.GenRotationKeyAt(skT, g1, pTest.MaxLevel())
+	add(record("RotateBV", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evT.RotateGalois(ctT, rotBV)
+		}
+	})))
+
+	// --- The headline: MulRelin at max level on PN15, hybrid vs BV ---
+	p15 := ckks.PN15.MustBuild()
+	kg15 := ckks.NewKeyGenerator(p15, gateSeed())
+	sk15, pk15 := kg15.GenKeyPair()
+	enc15 := ckks.NewEncoder(p15)
+	encryptor15 := ckks.NewEncryptor(p15, pk15, gateSeed())
+	ev15 := ckks.NewEvaluator(p15)
+	msg15 := benchMsg(p15)
+	ct15 := encryptor15.Encrypt(enc15.Encode(msg15))
+
+	fmt.Fprintln(w, "generating PN15 hybrid relinearization key (max depth)…")
+	rlkHy := kg15.GenRelinearizationKeyHybridAt(p15.MaxLevel())
+	hyBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.MulRelin(ct15, ct15, rlkHy)
+		}
+	})
+	add(record("MulRelinHybridPN15", hyBench))
+	rlkHy = nil
+	runtime.GC()
+
+	fmt.Fprintln(w, "generating PN15 BV relinearization key (max depth — quadratic gadget: slow, ~1.5 GB)…")
+	rlkBV := kg15.GenRelinearizationKeyAt(sk15, p15.MaxLevel())
+	bvBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.MulRelin(ct15, ct15, rlkBV)
+		}
+	})
+	add(record("MulRelinBVPN15", bvBench))
+	rlkBV = nil
+	runtime.GC()
+
+	// --- Evaluation-key blob sizes (PN15, same depth/rotations) ---
+	depth := p15.MaxLevel()
+	const rotCount = 3
+	hyBlob := int64(p15.EvaluationKeyWireBytes(depth, rotCount, false, ckks.GadgetHybrid))
+	bvBlob := int64(p15.EvaluationKeyWireBytes(depth, rotCount, false, ckks.GadgetBV))
+	add(BenchRecord{Op: "EvkBlobHybridPN15", BlobBytes: hyBlob})
+	add(BenchRecord{Op: "EvkBlobBVPN15", BlobBytes: bvBlob})
+
+	// --- Write the report ---
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report -> %s\n", outPath)
+
+	// --- Relative gates ---
+	var failures []string
+	if hyBench.NsPerOp() >= bvBench.NsPerOp() {
+		failures = append(failures, fmt.Sprintf(
+			"hybrid MulRelin (%d ns/op) does not beat BV (%d ns/op) at max level on PN15",
+			hyBench.NsPerOp(), bvBench.NsPerOp()))
+	}
+	if hyBlob >= bvBlob {
+		failures = append(failures, fmt.Sprintf(
+			"hybrid evk blob (%d B) not smaller than BV (%d B) for the same depth/rotations", hyBlob, bvBlob))
+	}
+
+	// --- Budget gates ---
+	failures = append(failures, budgetFailures(report, budgets)...)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(w, "FAIL:", f)
+		}
+		return fmt.Errorf("bench-check: %d gate(s) failed", len(failures))
+	}
+	fmt.Fprintln(w, "bench-check: all gates passed")
+	return nil
+}

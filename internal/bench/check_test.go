@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testReport mirrors the ops the gate measures, at the measured values.
+func testReport() BenchReport {
+	return BenchReport{Records: []BenchRecord{
+		{Op: "EncodeEncrypt", AllocsPerOp: 51},
+		{Op: "DecryptDecode", AllocsPerOp: 23},
+		{Op: "RotateHybrid", AllocsPerOp: 49},
+		{Op: "RotateBV", AllocsPerOp: 78},
+		{Op: "MulRelinHybridPN15", AllocsPerOp: 92},
+		{Op: "MulRelinBVPN15", AllocsPerOp: 764},
+		{Op: "EvkBlobHybridPN15", BlobBytes: 242221089},
+		{Op: "EvkBlobBVPN15", BlobBytes: 4152360993},
+	}}
+}
+
+// loadCommittedBudgets reads the repo's bench_budget.json (two levels up
+// from this package).
+func loadCommittedBudgets(t *testing.T) map[string]budgetEntry {
+	t.Helper()
+	budgets, err := loadBudgets(filepath.Join("..", "..", "bench_budget.json"))
+	if err != nil {
+		t.Fatalf("bench_budget.json does not parse: %v", err)
+	}
+	return budgets
+}
+
+// TestCommittedBudgetsPassAtMeasuredValues: the checked-in budget file
+// accepts the measured baseline (so a fresh CI run of the gate passes) and
+// names only ops the gate actually measures.
+func TestCommittedBudgetsPassAtMeasuredValues(t *testing.T) {
+	budgets := loadCommittedBudgets(t)
+	if fails := budgetFailures(testReport(), budgets); len(fails) != 0 {
+		t.Fatalf("committed budgets reject the measured baseline: %v", fails)
+	}
+	// Every measured op with a deterministic metric must be budgeted —
+	// the gate exists to catch regressions, not to watch a subset.
+	for _, r := range testReport().Records {
+		if _, ok := budgets[r.Op]; !ok {
+			t.Errorf("measured op %q has no committed budget", r.Op)
+		}
+	}
+}
+
+// TestBudgetGateCatchesRegressions: exceeding an alloc or blob budget, or
+// budgeting a vanished op, fails the gate.
+func TestBudgetGateCatchesRegressions(t *testing.T) {
+	budgets := map[string]budgetEntry{
+		"_comment": {},
+		"Op":       {MaxAllocsPerOp: 10},
+		"Blob":     {MaxBlobBytes: 100},
+		"Vanished": {MaxAllocsPerOp: 1},
+	}
+	report := BenchReport{Records: []BenchRecord{
+		{Op: "Op", AllocsPerOp: 11},
+		{Op: "Blob", BlobBytes: 101},
+	}}
+	fails := budgetFailures(report, budgets)
+	if len(fails) != 3 {
+		t.Fatalf("want 3 failures (allocs, blob, vanished op), got %v", fails)
+	}
+	for _, f := range fails {
+		if strings.HasPrefix(f, "budget entry \"_comment\"") {
+			t.Fatalf("comment key flagged: %v", fails)
+		}
+	}
+}

@@ -14,22 +14,29 @@ import (
 // depth cap, which rotation steps are present — because the receiver must
 // know the blob's geometry before allocating anything.
 //
-// Layout (little-endian), after the 13-byte key header (kind 'E'):
+// Layout (little-endian), after the 14-byte key header (kind 'E'):
 //
-//	digits u8 | maxLevel u8 | flags u8 (bit0 relin, bit1 conjugate) |
+//	gadget u8 (0 BV, 1 hybrid) | digits u8 | maxLevel u8 |
+//	flags u8 (bit0 relin, bit1 conjugate) |
 //	domain u8 (must be 0: coefficient) | rotCount u16 |
 //	rotCount × step u32 (strictly ascending, in [1, N/2)) |
 //	packed residues, PackedWordBits each, coefficient domain:
 //	  keys in order relin?, conjugate?, rotations (ascending step);
-//	  per key: for i < maxLevel, t < digits: K0[i][t] then K1[i][t],
-//	  each with maxLevel limbs.
+//	  BV     — per key: for i < maxLevel, t < digits: K0[i][t] then
+//	           K1[i][t], each with maxLevel limbs;
+//	  hybrid — per key: for j < ⌈maxLevel/α⌉: H0[j] then H1[j], each with
+//	           maxLevel+α limbs over the extended QP basis (digits
+//	           carries α and must equal the spec's specialLimbs).
 //
 // Switching keys live and compute in the NTT domain, but the wire keeps
 // the repo-wide convention that public bytes travel in the coefficient
 // domain: the marshaler INTTs each polynomial and the unmarshaler
 // transforms back (exact round trip — re-marshal is byte-identical). The
 // domain byte exists so a forged blob claiming NTT-domain payload is
-// rejected with a typed error instead of silently mis-interpreted.
+// rejected with a typed error instead of silently mis-interpreted; the
+// gadget byte plays the same role for the decomposition geometry — a
+// hybrid blob replayed at a parameter set without special primes is a
+// typed error, never a panic or a silent mis-parse.
 const (
 	// KeyKindEval is the evaluation-key discriminator at byte 5.
 	KeyKindEval byte = 'E'
@@ -43,8 +50,11 @@ const (
 )
 
 // EvalKeyInfo describes an evaluation-key blob's geometry — everything
-// needed to compute its exact wire size from the header alone.
+// needed to compute its exact wire size from the header alone. For
+// GadgetBV, Digits is the digit count T; for GadgetHybrid it carries the
+// group size α (which the embedded spec's SpecialLimbs must match).
 type EvalKeyInfo struct {
+	Gadget   Gadget
 	Digits   int
 	MaxLevel int
 	HasRelin bool
@@ -65,25 +75,43 @@ func (info EvalKeyInfo) keyCount() int {
 }
 
 func evalHeaderLen(rotCount int) int {
-	return keyHeaderLen() + 1 + 1 + 1 + 1 + 2 + 4*rotCount
+	return keyHeaderLen() + 1 + 1 + 1 + 1 + 1 + 2 + 4*rotCount
 }
 
 // EvalKeyWireBytes computes the exact blob size implied by a spec and an
 // info block — from headers alone, without building Parameters, so
 // wire-facing constructors can reject length-mismatched blobs before
 // paying for prime generation or any payload-proportional allocation.
+// Returns 0 for a geometry the spec cannot host (hybrid info over a spec
+// without special primes) so length checks against it always fail.
 func EvalKeyWireBytes(spec ParamSpec, info EvalKeyInfo) int {
 	n := 1 << uint(spec.LogN)
-	polys := info.keyCount() * info.MaxLevel * info.Digits * 2
-	return evalHeaderLen(len(info.Steps)) + (polys*info.MaxLevel*n*PackedWordBits+7)/8
+	var limbTotal int // packed limbs across one key's polynomials
+	switch info.Gadget {
+	case GadgetHybrid:
+		alpha := spec.SpecialLimbs
+		if alpha < 1 || info.Digits != alpha {
+			return 0
+		}
+		dnum := (info.MaxLevel + alpha - 1) / alpha
+		limbTotal = dnum * 2 * (info.MaxLevel + alpha)
+	default:
+		limbTotal = info.MaxLevel * info.Digits * 2 * info.MaxLevel
+	}
+	return evalHeaderLen(len(info.Steps)) + (info.keyCount()*limbTotal*n*PackedWordBits+7)/8
 }
 
 // EvaluationKeyWireBytes reports the packed wire size of a key set at the
-// given depth with rotCount rotation steps (+ conjugation when conj).
-func (p *Parameters) EvaluationKeyWireBytes(maxLevel, rotCount int, conj bool) int {
+// given depth with rotCount rotation steps (+ conjugation when conj),
+// built for the given gadget.
+func (p *Parameters) EvaluationKeyWireBytes(maxLevel, rotCount int, conj bool, gadget Gadget) int {
 	steps := make([]int, rotCount)
+	digits := p.digitsPerLimb()
+	if gadget == GadgetHybrid {
+		digits = p.SpecialLimbs
+	}
 	return EvalKeyWireBytes(p.Spec(), EvalKeyInfo{
-		Digits: p.digitsPerLimb(), MaxLevel: maxLevel,
+		Gadget: gadget, Digits: digits, MaxLevel: maxLevel,
 		HasRelin: true, HasConj: conj, Steps: steps,
 	})
 }
@@ -105,12 +133,17 @@ func ReadEvalKeyInfo(data []byte) (ParamSpec, EvalKeyInfo, error) {
 		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: truncated sub-header")
 	}
 	off := keyHeaderLen()
-	info.Digits = int(data[off])
-	info.MaxLevel = int(data[off+1])
-	flags := data[off+2]
-	domain := data[off+3]
-	rotCount := int(binary.LittleEndian.Uint16(data[off+4:]))
+	gadget := data[off]
+	info.Digits = int(data[off+1])
+	info.MaxLevel = int(data[off+2])
+	flags := data[off+3]
+	domain := data[off+4]
+	rotCount := int(binary.LittleEndian.Uint16(data[off+5:]))
 
+	if gadget != byte(GadgetBV) && gadget != byte(GadgetHybrid) {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: unknown gadget type 0x%02x", gadget)
+	}
+	info.Gadget = Gadget(gadget)
 	if flags&^byte(evalFlagRelin|evalFlagConj) != 0 {
 		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: unknown flag bits 0x%02x", flags)
 	}
@@ -121,6 +154,10 @@ func ReadEvalKeyInfo(data []byte) (ParamSpec, EvalKeyInfo, error) {
 	}
 	if info.Digits < 1 || info.Digits > 64 {
 		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: digit count %d out of range", info.Digits)
+	}
+	if info.Gadget == GadgetHybrid && info.Digits != spec.SpecialLimbs {
+		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: hybrid group size %d does not match the embedded spec's %d special primes",
+			info.Digits, spec.SpecialLimbs)
 	}
 	if info.MaxLevel < 1 || info.MaxLevel > spec.Limbs {
 		return ParamSpec{}, info, fmt.Errorf("ckks: eval keys: depth %d not in [1, %d]", info.MaxLevel, spec.Limbs)
@@ -171,9 +208,16 @@ func (p *Parameters) MarshalEvaluationKeySet(ks *EvaluationKeySet) ([]byte, erro
 	if ks.MaxLevel < 1 || ks.MaxLevel > p.MaxLevel() {
 		return nil, fmt.Errorf("ckks: marshal eval keys: depth %d out of range", ks.MaxLevel)
 	}
+	if ks.Gadget == GadgetHybrid && p.SpecialLimbs == 0 {
+		return nil, fmt.Errorf("ckks: marshal eval keys: hybrid set over parameters without special primes")
+	}
 	steps := ks.Steps()
+	digits := p.digitsPerLimb()
+	if ks.Gadget == GadgetHybrid {
+		digits = p.SpecialLimbs
+	}
 	info := EvalKeyInfo{
-		Digits: p.digitsPerLimb(), MaxLevel: ks.MaxLevel,
+		Gadget: ks.Gadget, Digits: digits, MaxLevel: ks.MaxLevel,
 		HasRelin: ks.Rlk != nil, HasConj: ks.Conj != nil, Steps: steps,
 	}
 
@@ -190,10 +234,25 @@ func (p *Parameters) MarshalEvaluationKeySet(ks *EvaluationKeySet) ([]byte, erro
 		}
 		ksks = append(ksks, ks.Rot[s].K)
 	}
+	dnum := 0
+	if ks.Gadget == GadgetHybrid {
+		dnum = p.DnumAt(ks.MaxLevel)
+	}
 	for _, ksk := range ksks {
-		if ksk.Level != ks.MaxLevel || ksk.Digits != info.Digits {
-			return nil, fmt.Errorf("ckks: marshal eval keys: key shape (level %d, digits %d) does not match set (level %d, digits %d)",
-				ksk.Level, ksk.Digits, ks.MaxLevel, info.Digits)
+		if ksk.Gadget != ks.Gadget || ksk.Level != ks.MaxLevel {
+			return nil, fmt.Errorf("ckks: marshal eval keys: key shape (gadget %v, level %d) does not match set (gadget %v, level %d)",
+				ksk.Gadget, ksk.Level, ks.Gadget, ks.MaxLevel)
+		}
+		switch ks.Gadget {
+		case GadgetHybrid:
+			if ksk.Alpha != info.Digits || len(ksk.H0) != dnum || len(ksk.H1) != dnum {
+				return nil, fmt.Errorf("ckks: marshal eval keys: hybrid key rows (α %d, %d groups) do not match set geometry (α %d, %d groups)",
+					ksk.Alpha, len(ksk.H0), info.Digits, dnum)
+			}
+		default:
+			if ksk.Digits != info.Digits {
+				return nil, fmt.Errorf("ckks: marshal eval keys: key digits %d do not match set digits %d", ksk.Digits, info.Digits)
+			}
 		}
 	}
 
@@ -202,8 +261,9 @@ func (p *Parameters) MarshalEvaluationKeySet(ks *EvaluationKeySet) ([]byte, erro
 		return nil, err
 	}
 	off := keyHeaderLen()
-	out[off] = byte(info.Digits)
-	out[off+1] = byte(info.MaxLevel)
+	out[off] = byte(info.Gadget)
+	out[off+1] = byte(info.Digits)
+	out[off+2] = byte(info.MaxLevel)
 	var flags byte
 	if info.HasRelin {
 		flags |= evalFlagRelin
@@ -211,20 +271,30 @@ func (p *Parameters) MarshalEvaluationKeySet(ks *EvaluationKeySet) ([]byte, erro
 	if info.HasConj {
 		flags |= evalFlagConj
 	}
-	out[off+2] = flags
-	out[off+3] = 0 // coefficient-domain payload
-	binary.LittleEndian.PutUint16(out[off+4:], uint16(len(steps)))
+	out[off+3] = flags
+	out[off+4] = 0 // coefficient-domain payload
+	binary.LittleEndian.PutUint16(out[off+5:], uint16(len(steps)))
 	for i, s := range steps {
 		binary.LittleEndian.PutUint32(out[evalHeaderLen(i):], uint32(s))
 	}
 
-	rl := p.RingAt(ks.MaxLevel)
 	w := newBitWriter(out[evalHeaderLen(len(steps)):])
-	for _, ksk := range ksks {
-		for i := 0; i < ks.MaxLevel; i++ {
-			for t := 0; t < info.Digits; t++ {
-				marshalEvalPoly(rl, ksk.K0[i][t], w)
-				marshalEvalPoly(rl, ksk.K1[i][t], w)
+	if ks.Gadget == GadgetHybrid {
+		rqp := p.RingQPAt(ks.MaxLevel)
+		for _, ksk := range ksks {
+			for j := 0; j < dnum; j++ {
+				marshalEvalPoly(rqp, ksk.H0[j], w)
+				marshalEvalPoly(rqp, ksk.H1[j], w)
+			}
+		}
+	} else {
+		rl := p.RingAt(ks.MaxLevel)
+		for _, ksk := range ksks {
+			for i := 0; i < ks.MaxLevel; i++ {
+				for t := 0; t < info.Digits; t++ {
+					marshalEvalPoly(rl, ksk.K0[i][t], w)
+					marshalEvalPoly(rl, ksk.K1[i][t], w)
+				}
 			}
 		}
 	}
@@ -262,8 +332,17 @@ func (p *Parameters) UnmarshalEvaluationKeySet(data []byte) (*EvaluationKeySet, 
 	if spec != p.Spec() {
 		return nil, fmt.Errorf("ckks: unmarshal eval keys: embedded spec %+v does not match parameters", spec)
 	}
-	if info.Digits != p.digitsPerLimb() {
-		return nil, fmt.Errorf("ckks: unmarshal eval keys: %d gadget digits, parameters use %d", info.Digits, p.digitsPerLimb())
+	switch info.Gadget {
+	case GadgetHybrid:
+		// ReadEvalKeyInfo already pinned Digits == spec.SpecialLimbs; the
+		// spec equality above transfers that to p.
+		if p.SpecialLimbs == 0 {
+			return nil, fmt.Errorf("ckks: unmarshal eval keys: hybrid blob needs special primes, parameters carry none")
+		}
+	default:
+		if info.Digits != p.digitsPerLimb() {
+			return nil, fmt.Errorf("ckks: unmarshal eval keys: %d gadget digits, parameters use %d", info.Digits, p.digitsPerLimb())
+		}
 	}
 	if !info.HasRelin {
 		return nil, fmt.Errorf("ckks: unmarshal eval keys: set carries no relinearization key")
@@ -272,10 +351,26 @@ func (p *Parameters) UnmarshalEvaluationKeySet(data []byte) (*EvaluationKeySet, 
 		return nil, fmt.Errorf("ckks: unmarshal eval keys: blob length %d does not match header geometry", len(data))
 	}
 
-	rl := p.RingAt(info.MaxLevel)
 	r := newBitReader(data[evalHeaderLen(len(info.Steps)):])
 	readKsk := func() (*SwitchingKey, error) {
-		ksk := &SwitchingKey{Digits: info.Digits, Level: info.MaxLevel}
+		if info.Gadget == GadgetHybrid {
+			rqp := p.RingQPAt(info.MaxLevel)
+			dnum := p.DnumAt(info.MaxLevel)
+			ksk := &SwitchingKey{Gadget: GadgetHybrid, Alpha: info.Digits, Level: info.MaxLevel}
+			ksk.H0 = make([]*ring.Poly, dnum)
+			ksk.H1 = make([]*ring.Poly, dnum)
+			for j := 0; j < dnum; j++ {
+				if ksk.H0[j], err = unmarshalEvalPoly(rqp, r); err != nil {
+					return nil, err
+				}
+				if ksk.H1[j], err = unmarshalEvalPoly(rqp, r); err != nil {
+					return nil, err
+				}
+			}
+			return ksk, nil
+		}
+		rl := p.RingAt(info.MaxLevel)
+		ksk := &SwitchingKey{Gadget: GadgetBV, Digits: info.Digits, Level: info.MaxLevel}
 		ksk.K0 = make([][]*ring.Poly, info.MaxLevel)
 		ksk.K1 = make([][]*ring.Poly, info.MaxLevel)
 		for i := 0; i < info.MaxLevel; i++ {
@@ -293,7 +388,7 @@ func (p *Parameters) UnmarshalEvaluationKeySet(data []byte) (*EvaluationKeySet, 
 		return ksk, nil
 	}
 
-	ks := &EvaluationKeySet{Rot: make(map[int]*RotationKey), MaxLevel: info.MaxLevel}
+	ks := &EvaluationKeySet{Rot: make(map[int]*RotationKey), MaxLevel: info.MaxLevel, Gadget: info.Gadget}
 	rlk, err := readKsk()
 	if err != nil {
 		return nil, err

@@ -70,19 +70,19 @@ func deriveUploadErrorSeed(seed [16]byte) [16]byte {
 	return prng.SeedFromUint64s(src.Uint64(), src.Uint64())
 }
 
-// GenSecretKey samples the ternary secret (Hamming weight params.HW if
-// nonzero, uniform ternary otherwise) and transforms it to NTT form.
-func (kg *KeyGenerator) GenSecretKey() *SecretKey {
-	r := kg.params.Ring()
+// secretSignedInto fills vals (length N) with the two's-complement bits of
+// the ternary secret's centered coefficients, resampled deterministically
+// from the generator's seed. This is the shared source of GenSecretKey and
+// the hybrid keygen's extended-basis secret: the same signed polynomial
+// expands into whichever RNS basis the caller needs.
+func (kg *KeyGenerator) secretSignedInto(vals []uint64) {
 	src := prng.NewSource(kg.seed, streamSecret)
-	s := r.NewPoly()
 	if kg.params.HW > 0 {
 		// Sample the signed polynomial once (serial: the PRNG stream order
-		// is part of the determinism contract), decode the mod-3 residues
-		// to centered bits, and expand limb-wise through the shared stage.
-		tmp := lanes.GetSlab(r.N)
-		src.TernaryPolyHW(tmp, kg.params.HW, 3) // residues mod 3: {0,1,2}
-		for j, v := range tmp {
+		// is part of the determinism contract) and decode the mod-3
+		// residues to centered bits.
+		src.TernaryPolyHW(vals, kg.params.HW, 3) // residues mod 3: {0,1,2}
+		for j, v := range vals {
 			var c int64
 			switch v {
 			case 1:
@@ -90,15 +90,41 @@ func (kg *KeyGenerator) GenSecretKey() *SecretKey {
 			case 2:
 				c = -1
 			}
-			tmp[j] = uint64(c)
+			vals[j] = uint64(c)
 		}
-		r.ExpandSignedBits(tmp, s)
-		lanes.PutSlab(tmp)
-	} else {
-		r.TernaryPoly(src, s)
+		return
 	}
+	for j := range vals {
+		vals[j] = uint64(src.TernarySample())
+	}
+}
+
+// GenSecretKey samples the ternary secret (Hamming weight params.HW if
+// nonzero, uniform ternary otherwise) and transforms it to NTT form.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	r := kg.params.Ring()
+	s := r.NewPoly()
+	tmp := lanes.GetSlab(r.N)
+	kg.secretSignedInto(tmp)
+	r.ExpandSignedBits(tmp, s)
+	lanes.PutSlab(tmp)
 	r.NTT(s)
 	return &SecretKey{S: s}
+}
+
+// secretQP expands the generator's secret into the extended basis
+// (q_0..q_{depth-1}, P) in the NTT domain — the form hybrid key
+// generation consumes. The returned polynomial is pooled; release it with
+// rqp.PutPoly.
+func (kg *KeyGenerator) secretQP(depth int) *ring.Poly {
+	rqp := kg.params.RingQPAt(depth)
+	s := rqp.GetPolyUninit() // ExpandSignedBits writes every word
+	tmp := lanes.GetSlab(rqp.N)
+	kg.secretSignedInto(tmp)
+	rqp.ExpandSignedBits(tmp, s)
+	lanes.PutSlab(tmp)
+	rqp.NTT(s)
+	return s
 }
 
 // GenPublicKey derives (pk0, pk1) = (-a·s + e, a): a uniform in the NTT

@@ -17,9 +17,16 @@ import (
 //
 //	magic "ABCF" | version u8 | kind u8 ('P' public, 'S' secret) |
 //	logN u8 | limbBits u8 | limbs u8 | logScale u8 | hw u16 | mantBits u8 |
+//	specialLimbs u8 |
 //	[secret only: owner seed, 16 bytes] |
 //	packed residues (PackedWordBits each, NTT domain, full depth):
 //	  public: P0 then P1 — secret: S
+//
+// specialLimbs is the hybrid key-switching chain length k (0 when the
+// parameter set carries none): it rides in every key blob because the
+// receiving party must rebuild the full parameter geometry — including the
+// P chain a hybrid evaluation-key blob will reference — from the bytes
+// alone.
 //
 // Unlike ciphertexts, key blobs embed the full ParamSpec: a device can
 // build an Encryptor from nothing but these bytes (ReadKeySpec → Build →
@@ -32,7 +39,7 @@ const (
 	KeyKindSecret byte = 'S'
 )
 
-func keyHeaderLen() int { return 4 + 1 + 1 + 1 + 1 + 1 + 1 + 2 + 1 }
+func keyHeaderLen() int { return 4 + 1 + 1 + 1 + 1 + 1 + 1 + 2 + 1 + 1 }
 
 // Spec reconstructs the (normalized) ParamSpec these parameters were built
 // from. MantBits is the resolved width, never 0.
@@ -40,13 +47,14 @@ func (p *Parameters) Spec() ParamSpec {
 	return ParamSpec{
 		LogN: p.LogN, LimbBits: p.LimbBits, Limbs: p.Limbs,
 		LogScale: p.LogScale, HW: p.HW, MantBits: p.MantBits,
+		SpecialLimbs: p.SpecialLimbs,
 	}
 }
 
 // putKeyHeader writes the spec-embedding header; the spec fields must fit
 // their wire widths (guaranteed for anything Build accepts).
 func (p *Parameters) putKeyHeader(out []byte, kind byte) error {
-	if p.Limbs > 255 || p.LogScale > 255 || p.LimbBits > 255 || p.HW > 0xFFFF || p.MantBits > 255 {
+	if p.Limbs > 255 || p.LogScale > 255 || p.LimbBits > 255 || p.HW > 0xFFFF || p.MantBits > 255 || p.SpecialLimbs > 255 {
 		return fmt.Errorf("ckks: marshal key: spec field exceeds wire width")
 	}
 	copy(out, wireMagic)
@@ -58,6 +66,7 @@ func (p *Parameters) putKeyHeader(out []byte, kind byte) error {
 	out[9] = byte(p.LogScale)
 	binary.LittleEndian.PutUint16(out[10:], uint16(p.HW))
 	out[12] = byte(p.MantBits)
+	out[13] = byte(p.SpecialLimbs)
 	return nil
 }
 
@@ -78,12 +87,13 @@ func ReadKeySpec(data []byte) (ParamSpec, byte, error) {
 		return ParamSpec{}, 0, fmt.Errorf("ckks: key spec: unknown kind 0x%02x", kind)
 	}
 	spec := ParamSpec{
-		LogN:     int(data[6]),
-		LimbBits: int(data[7]),
-		Limbs:    int(data[8]),
-		LogScale: int(data[9]),
-		HW:       int(binary.LittleEndian.Uint16(data[10:])),
-		MantBits: int(data[12]),
+		LogN:         int(data[6]),
+		LimbBits:     int(data[7]),
+		Limbs:        int(data[8]),
+		LogScale:     int(data[9]),
+		HW:           int(binary.LittleEndian.Uint16(data[10:])),
+		MantBits:     int(data[12]),
+		SpecialLimbs: int(data[13]),
 	}
 	// No marshaler can emit a key blob for limbs wider than the packed
 	// word, so a header claiming one is forged — and accepting it would

@@ -1,6 +1,8 @@
 package ckks
 
 import (
+	"fmt"
+
 	"repro/internal/prng"
 	"repro/internal/ring"
 )
@@ -36,23 +38,78 @@ import (
 // permutation (ring.MulPermAdd) — rotating one ciphertext by many steps
 // pays the decomposition once (see Evaluator.RotateHoisted).
 
-// DecompLogBase is the gadget digit width (w). 8 keeps switching noise
+// Two gadgets are implemented:
+//
+//   - GadgetBV — the digit decomposition above: T·L rows per key,
+//     quadratic in depth. Kept for compatibility and as the fallback for
+//     parameter sets without special primes.
+//   - GadgetHybrid — hybrid key switching with special primes (the P·Q
+//     construction every bootstrappable stack uses): the Q chain splits
+//     into dnum = ⌈L/α⌉ groups of α limbs, the modulus is raised to Q·P
+//     (P = p_0…p_{k-1}, k = α special primes), and the key holds one row
+//     per *group* over the extended basis:
+//
+//	ksk_j = (-a_j·s + e_j + P·δ_j·f,  a_j)  over  R_{Q·P},
+//
+//     where δ_j is 1 on group-j limbs and 0 elsewhere (the RNS form of
+//     P·Q̂_j·[Q̂_j^{-1}]_{Q_j}). The switch ModUps each group's residues to
+//     the QP basis (rns.Extender), accumulates Σ_j D_j(c)·ksk_j there, and
+//     ModDowns by P with rounding — the P factor cancels, leaving c·f plus
+//     noise ≈ β·α·√N·σ·(Q_grp/P) ≲ σ·√(βαN), *independent of the digit
+//     width*. Keys shrink from T·L rows of L limbs to ⌈L/α⌉ rows of L+k
+//     limbs (≈ T·α/(1+k/L) ≈ 17× at the paper chains), and the hot path
+//     runs β·(L+k) NTTs instead of T·L².
+
+// DecompLogBase is the BV gadget digit width (w). 8 keeps switching noise
 // ≈2^15 at the test parameters — comfortably below every scale in use
-// (production RNS-CKKS uses a raised special modulus instead; the digit
-// gadget trades key size for implementation simplicity).
+// (the hybrid gadget replaces the digit trade-off with the raised modulus).
 const DecompLogBase = 8
 
+// Gadget selects the key-switching decomposition a switching key was
+// built for. The byte values are the wire encoding (evalkeyserialize.go).
+type Gadget byte
+
+const (
+	// GadgetBV is the base-2^w CRT digit gadget (PR 4's construction).
+	GadgetBV Gadget = 0
+	// GadgetHybrid is hybrid key switching with special primes (P·Q).
+	GadgetHybrid Gadget = 1
+)
+
+func (g Gadget) String() string {
+	switch g {
+	case GadgetBV:
+		return "bv"
+	case GadgetHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("gadget(%d)", byte(g))
+}
+
 // SwitchingKey holds the gadget encryptions for one target polynomial.
-// Level is the depth the key supports: its polynomials carry Level limbs,
-// and the key can switch any ciphertext at level ≤ Level (prefix views) —
-// depth-capped keys are how evaluation-key blobs stay proportional to the
-// depth the server actually computes at (the gadget is quadratic in depth:
-// Level² · Digits · 2 polynomial limbs per key).
+// Level is the depth the key supports: the key can switch any ciphertext
+// at level ≤ Level (prefix views) — depth-capped keys are how
+// evaluation-key blobs stay proportional to the depth the server actually
+// computes at.
+//
+// BV keys carry K0[i][t]/K1[i][t] (Level limbs each; quadratic in depth:
+// Level²·Digits·2 polynomial limbs). Hybrid keys carry H0[j]/H1[j] — one
+// row per decomposition group, Level+Alpha limbs each over the extended
+// basis (q_0..q_{Level-1}, p_0..p_{α-1}), linear in depth.
 type SwitchingKey struct {
-	// K0[i][t], K1[i][t]: the two halves of ksk_{i,t}, NTT domain, Level limbs.
+	Gadget Gadget
+
+	// K0[i][t], K1[i][t]: the two halves of ksk_{i,t}, NTT domain, Level
+	// limbs (BV only).
 	K0, K1 [][]*ring.Poly
-	Digits int
-	Level  int
+	Digits int // BV digit count T
+
+	// H0[j], H1[j]: the two halves of the group-j row, NTT domain,
+	// Level+Alpha limbs over the QP basis (hybrid only).
+	H0, H1 []*ring.Poly
+	Alpha  int // hybrid group size α (== Parameters.SpecialLimbs)
+
+	Level int
 }
 
 // digitsPerLimb is ceil(LimbBits / DecompLogBase).
@@ -80,7 +137,7 @@ func (kg *KeyGenerator) GenSwitchingKeyAt(sk *SecretKey, f *ring.Poly, depth int
 	T := p.digitsPerLimb()
 	skd := &ring.Poly{Coeffs: sk.S.Coeffs[:depth], IsNTT: true}
 
-	ksk := &SwitchingKey{Digits: T, Level: depth}
+	ksk := &SwitchingKey{Gadget: GadgetBV, Digits: T, Level: depth}
 	ksk.K0 = make([][]*ring.Poly, depth)
 	ksk.K1 = make([][]*ring.Poly, depth)
 
@@ -121,14 +178,65 @@ func (kg *KeyGenerator) GenSwitchingKeyAt(sk *SecretKey, f *ring.Poly, depth int
 	return ksk
 }
 
+// genHybridSwitchingKey builds the hybrid key that moves polynomial mass
+// multiplied by fQP back to the secret: one row per decomposition group
+// over the extended basis. sQP and fQP must be NTT-domain polynomials over
+// RingQPAt(depth). Streams are consumed two per row from streamBase, so
+// regeneration from the same seed is byte-identical (and hybrid bases are
+// disjoint from the BV windows — a BV and a hybrid key derived from the
+// same owner seed must never share mask/error streams, or their difference
+// would expose the gadget term).
+func (kg *KeyGenerator) genHybridSwitchingKey(sQP, fQP *ring.Poly, depth int, streamBase uint64) *SwitchingKey {
+	p := kg.params
+	rqp := p.RingQPAt(depth)
+	beta := p.DnumAt(depth)
+	ksk := &SwitchingKey{
+		Gadget: GadgetHybrid, Alpha: p.SpecialLimbs, Level: depth,
+		H0: make([]*ring.Poly, beta), H1: make([]*ring.Poly, beta),
+	}
+	stream := streamBase
+	for j := 0; j < beta; j++ {
+		stream += 2
+		a := rqp.NewPoly()
+		rqp.UniformPoly(prng.NewSource(kg.seed, stream), a)
+		a.IsNTT = true
+
+		e := rqp.GetPolyUninit() // sampler fully overwrites
+		rqp.GaussianPoly(prng.NewSource(kg.seed, stream+1), e)
+		rqp.NTT(e)
+
+		b := rqp.NewPoly()
+		rqp.MulCoeffs(a, sQP, b)
+		rqp.Neg(b, b)
+		rqp.Add(b, e, b)
+		rqp.PutPoly(e)
+
+		// + P·δ_j·f: the gadget term touches only group-j limbs (it is 0 on
+		// the other Q limbs and ≡ 0 mod every special prime).
+		lo, hi := p.groupRange(depth, j)
+		for i := lo; i < hi; i++ {
+			m := rqp.Basis.Moduli[i]
+			sc := p.pModQ[i]
+			fi, bi := fQP.Coeffs[i], b.Coeffs[i]
+			for x := range bi {
+				bi[x] = m.Add(bi[x], m.Mul(fi[x], sc))
+			}
+		}
+		ksk.H0[j], ksk.H1[j] = b, a
+	}
+	return ksk
+}
+
 // hoistedDigits is a ciphertext's c1 in gadget-decomposed, NTT-domain form
 // — the expensive half of a key switch, computed once and reusable across
 // any number of Galois elements. All storage is pooled: release with
-// releaseDigits. dig[i·digits+t] is digit t of limb i.
+// releaseDigits. BV: dig[i·digits+t] is digit t of limb i (level limbs
+// each). Hybrid: dig[j] is group j raised to the QP basis (level+α limbs).
 type hoistedDigits struct {
 	dig    []*ring.Poly
 	level  int
 	digits int
+	gadget Gadget
 }
 
 // hoistDigits decomposes c (coefficient domain, `level` limbs) into its
@@ -138,7 +246,7 @@ type hoistedDigits struct {
 // digit (rows are disjoint, so any worker count computes the same bytes).
 func (p *Parameters) hoistDigits(c *ring.Poly, level, digits int) *hoistedDigits {
 	rl := p.RingAt(level)
-	h := &hoistedDigits{level: level, digits: digits, dig: make([]*ring.Poly, level*digits)}
+	h := &hoistedDigits{gadget: GadgetBV, level: level, digits: digits, dig: make([]*ring.Poly, level*digits)}
 	for idx := range h.dig {
 		h.dig[idx] = rl.GetPolyUninit() // every row fully overwritten below
 	}
@@ -164,12 +272,110 @@ func (p *Parameters) hoistDigits(c *ring.Poly, level, digits int) *hoistedDigits
 	return h
 }
 
+// hoistHybrid decomposes c (coefficient domain, `level` limbs) into its
+// β = ⌈level/α⌉ group digits, each raised to the extended QP basis
+// (rns.Extender fast base conversion, chunked across the lanes) and
+// transformed — β·(level+k) NTTs, against the BV gadget's digits·level²
+// (paid once per input ciphertext however many switches consume it).
+func (p *Parameters) hoistHybrid(c *ring.Poly, level int) *hoistedDigits {
+	rqp := p.RingQPAt(level)
+	beta := p.DnumAt(level)
+	h := &hoistedDigits{gadget: GadgetHybrid, level: level, dig: make([]*ring.Poly, beta)}
+	for j := 0; j < beta; j++ {
+		lo, hi := p.groupRange(level, j)
+		d := rqp.GetPolyUninit() // the extension writes every word
+		rqp.ModUpInto(p.groupExtender(level, j), c.Coeffs[lo:hi], d)
+		rqp.NTT(d)
+		h.dig[j] = d
+	}
+	return h
+}
+
+// hoistFor runs the decomposition matching the switching key's gadget.
+func (p *Parameters) hoistFor(c *ring.Poly, level int, ksk *SwitchingKey) *hoistedDigits {
+	if ksk.Gadget == GadgetHybrid {
+		return p.hoistHybrid(c, level)
+	}
+	return p.hoistDigits(c, level, ksk.Digits)
+}
+
 // releaseDigits returns the decomposition's pooled storage.
 func (p *Parameters) releaseDigits(h *hoistedDigits) {
 	rl := p.RingAt(h.level)
 	for _, d := range h.dig {
 		rl.PutPoly(d)
 	}
+}
+
+// applyInto accumulates the key switch of the hoisted digits into
+// (acc0, acc1) — NTT domain, h.level limbs — dispatching on the key's
+// gadget. σ (perm, nil ⇒ identity) is applied to the digits in both
+// constructions (the hoisting identity holds for any ring automorphism).
+func (p *Parameters) applyInto(h *hoistedDigits, ksk *SwitchingKey, perm []int32, acc0, acc1 *ring.Poly) {
+	if h.gadget != ksk.Gadget {
+		panic("ckks: hoisted decomposition does not match the switching key's gadget")
+	}
+	if ksk.Gadget == GadgetHybrid {
+		p.applyHybridInto(h, ksk, perm, acc0, acc1)
+		return
+	}
+	p.applyHoistedInto(h, ksk, perm, acc0, acc1)
+}
+
+// applyHybridInto is the hybrid half of applyInto: accumulate
+// Σ_j σ(D_j)·ksk_j over the extended QP basis (one fused limb-major lane
+// dispatch — key limbs are addressed through the depth-capped key's
+// geometry, so a level-ℓ switch reads rows 0..ℓ-1 and the P tail of each
+// Level-limb key row), then ModDown both halves by P with rounding into
+// the Q-basis accumulators.
+func (p *Parameters) applyHybridInto(h *hoistedDigits, ksk *SwitchingKey, perm []int32, acc0, acc1 *ring.Poly) {
+	if h.level > ksk.Level {
+		panic("ckks: ciphertext level exceeds switching-key depth")
+	}
+	level, k := h.level, p.SpecialLimbs
+	rqp := p.RingQPAt(level)
+	s0 := rqp.GetPoly() // accumulators start at zero
+	s1 := rqp.GetPoly()
+	s0.IsNTT, s1.IsNTT = true, true
+	rqp.Engine().Run(level+k, func(m int) {
+		md := rqp.Basis.Moduli[m]
+		km := m // key-row limb index: Q part aligns, P tail sits at ksk.Level
+		if m >= level {
+			km = ksk.Level + (m - level)
+		}
+		a0, a1 := s0.Coeffs[m], s1.Coeffs[m]
+		for j, dj := range h.dig {
+			d := dj.Coeffs[m]
+			k0 := ksk.H0[j].Coeffs[km]
+			k1 := ksk.H1[j].Coeffs[km]
+			if perm == nil {
+				for x := range a0 {
+					a0[x] = md.Add(a0[x], md.Mul(d[x], k0[x]))
+					a1[x] = md.Add(a1[x], md.Mul(d[x], k1[x]))
+				}
+				continue
+			}
+			for x := range a0 {
+				dp := d[perm[x]]
+				a0[x] = md.Add(a0[x], md.Mul(dp, k0[x]))
+				a1[x] = md.Add(a1[x], md.Mul(dp, k1[x]))
+			}
+		}
+	})
+	p.modDownInto(s0, level, acc0)
+	p.modDownInto(s1, level, acc1)
+	rqp.PutPoly(s0)
+	rqp.PutPoly(s1)
+}
+
+// modDownInto adds round(acc/P) to out (both NTT domain): the closing
+// basis reduction of a hybrid switch. acc (level+k limbs over QP) is
+// consumed.
+func (p *Parameters) modDownInto(acc *ring.Poly, level int, out *ring.Poly) {
+	rq := p.RingAt(level)
+	scratch := rq.GetPolyUninit() // ModUp inside fully overwrites
+	ring.ModDownNTTInto(rq, p.ringP, p.modDownExtender(level), p.pInvModQ, acc, scratch, out)
+	rq.PutPoly(scratch)
 }
 
 // applyHoistedInto accumulates the key switch of the hoisted digits into
@@ -222,12 +428,39 @@ func (p *Parameters) applyHoistedInto(h *hoistedDigits, ksk *SwitchingKey, perm 
 // RelinearizationKey switches s² mass back to s.
 type RelinearizationKey struct{ K *SwitchingKey }
 
-// relinStreamBase seeds the relinearization key's sampling streams.
-const relinStreamBase = 1 << 50
+// relinStreamBase seeds the BV relinearization key's sampling streams.
+// The hybrid keys draw from disjoint windows (1<<52 / 1<<53): BV and
+// hybrid keys over the same owner seed coexist on the wire (the gadget
+// cross-compatibility deployment), and sharing a stream base would give
+// two published key equations the same mask and error — their difference
+// would hand an attacker the gadget term (P−2^wt)·s² in the clear.
+const (
+	relinStreamBase       = 1 << 50
+	hybridRelinStreamBase = 1 << 52
+)
 
 // GenRelinearizationKey derives the full-depth relinearization key.
 func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey {
 	return kg.GenRelinearizationKeyAt(sk, kg.params.MaxLevel())
+}
+
+// GenRelinearizationKeyHybridAt derives the hybrid relinearization key
+// capped at `depth` limbs. The secret is re-derived from the generator's
+// seed and expanded onto the extended basis (the stored SecretKey carries
+// only Q limbs), so no argument is needed beyond the depth.
+func (kg *KeyGenerator) GenRelinearizationKeyHybridAt(depth int) *RelinearizationKey {
+	p := kg.params
+	if depth < 1 || depth > p.MaxLevel() {
+		panic("ckks: relinearization-key depth out of range")
+	}
+	rqp := p.RingQPAt(depth)
+	s := kg.secretQP(depth)
+	s2 := rqp.GetPolyUninit() // MulCoeffs fully overwrites
+	rqp.MulCoeffs(s, s, s2)
+	rlk := &RelinearizationKey{K: kg.genHybridSwitchingKey(s, s2, depth, hybridRelinStreamBase)}
+	rqp.PutPoly(s2)
+	rqp.PutPoly(s)
+	return rlk
 }
 
 // GenRelinearizationKeyAt derives the relinearization key capped at
@@ -276,12 +509,12 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Cipher
 	rl.PutPoly(b0)
 	rl.PutPoly(b1)
 
-	// Key-switch c2 (digit extraction needs the coefficient domain), then
+	// Key-switch c2 (the decomposition reads the coefficient domain), then
 	// accumulate directly into the result halves.
 	rl.INTT(c2)
-	h := ev.params.hoistDigits(c2, level, rlk.K.Digits)
+	h := ev.params.hoistFor(c2, level, rlk.K)
 	rl.PutPoly(c2)
-	ev.params.applyHoistedInto(h, rlk.K, nil, c0, c1)
+	ev.params.applyInto(h, rlk.K, nil, c0, c1)
 	ev.params.releaseDigits(h)
 
 	rl.INTT(c0)
@@ -332,11 +565,14 @@ type RotationKey struct {
 	Perm []int32
 }
 
-// rotationStreamBase seeds a rotation key's sampling streams; Galois
+// rotationStreamBase seeds a BV rotation key's sampling streams; Galois
 // elements are < 2N ≤ 2^18 and each switching key consumes well under 2^20
 // streams, so the per-element windows are disjoint (and disjoint from the
-// relinearization base at 2^50).
-func rotationStreamBase(g int) uint64 { return 1<<51 + uint64(g)<<20 }
+// relinearization base at 2^50). hybridRotationStreamBase is the hybrid
+// sibling — a separate window at 2^53 for the same reason the
+// relinearization bases are split (see relinStreamBase).
+func rotationStreamBase(g int) uint64       { return 1<<51 + uint64(g)<<20 }
+func hybridRotationStreamBase(g int) uint64 { return 1<<53 + uint64(g)<<20 }
 
 // GenRotationKey derives the full-depth key for Galois element g: it
 // switches s(X^g) mass back to s.
@@ -364,12 +600,39 @@ func (kg *KeyGenerator) GenRotationKeyAt(sk *SecretKey, g, depth int) *RotationK
 	return rk
 }
 
+// GenRotationKeyHybridAt derives the hybrid rotation key for Galois
+// element g capped at `depth` limbs: it switches s(X^g) mass back to s
+// over the raised modulus. Like the hybrid relinearization key, the
+// secret is re-derived from the seed onto the extended basis.
+func (kg *KeyGenerator) GenRotationKeyHybridAt(g, depth int) *RotationKey {
+	p := kg.params
+	if depth < 1 || depth > p.MaxLevel() {
+		panic("ckks: rotation-key depth out of range")
+	}
+	rqp := p.RingQPAt(depth)
+	s := kg.secretQP(depth)
+	sCoeff := rqp.GetPolyCopy(s)
+	rqp.INTT(sCoeff)
+	sg := rqp.GetPolyUninit() // automorphism writes every index
+	rqp.AutomorphismCoeff(sCoeff, g, sg)
+	rqp.NTT(sg)
+	rk := &RotationKey{
+		G:    g,
+		K:    kg.genHybridSwitchingKey(s, sg, depth, hybridRotationStreamBase(g)),
+		Perm: p.Ring().GaloisPermNTT(g),
+	}
+	rqp.PutPoly(sCoeff)
+	rqp.PutPoly(sg)
+	rqp.PutPoly(s)
+	return rk
+}
+
 // RotateGalois applies the automorphism X → X^g and key-switches back to
 // s. With g = GaloisElement(k) this rotates the message slots by k. The
 // key switch runs on hoisted digits (the single-rotation degenerate case
 // of RotateHoisted); σ(c0) is applied in the coefficient domain.
 func (ev *Evaluator) RotateGalois(ct *Ciphertext, rk *RotationKey) *Ciphertext {
-	h := ev.params.hoistDigits(ct.C1, ct.Level, rk.K.Digits)
+	h := ev.params.hoistFor(ct.C1, ct.Level, rk.K)
 	out := ev.rotateFromDigits(ct, h, rk)
 	ev.params.releaseDigits(h)
 	return out
@@ -383,11 +646,11 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rks []*RotationKey) []*Cipher
 	if len(rks) == 0 {
 		return nil
 	}
-	h := ev.params.hoistDigits(ct.C1, ct.Level, rks[0].K.Digits)
+	h := ev.params.hoistFor(ct.C1, ct.Level, rks[0].K)
 	out := make([]*Ciphertext, len(rks))
 	for i, rk := range rks {
-		if rk.K.Digits != rks[0].K.Digits {
-			panic("ckks: hoisted rotation keys disagree on digit count")
+		if rk.K.Gadget != rks[0].K.Gadget || rk.K.Digits != rks[0].K.Digits || rk.K.Alpha != rks[0].K.Alpha {
+			panic("ckks: hoisted rotation keys disagree on gadget geometry")
 		}
 		out[i] = ev.rotateFromDigits(ct, h, rk)
 	}
@@ -406,7 +669,7 @@ func (ev *Evaluator) rotateFromDigits(ct *Ciphertext, h *hoistedDigits, rk *Rota
 	out0 := rl.NewPoly() // returned — caller-owned, never pooled
 	out1 := rl.NewPoly()
 	out0.IsNTT, out1.IsNTT = true, true
-	ev.params.applyHoistedInto(h, rk.K, rk.Perm, out0, out1)
+	ev.params.applyInto(h, rk.K, rk.Perm, out0, out1)
 	rl.INTT(out0)
 	rl.INTT(out1)
 

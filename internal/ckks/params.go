@@ -20,11 +20,14 @@ package ckks
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fftfp"
 	"repro/internal/lanes"
+	"repro/internal/ntt"
 	"repro/internal/primes"
 	"repro/internal/ring"
+	"repro/internal/rns"
 )
 
 // Parameters fixes a CKKS instance. Immutable after construction, except
@@ -38,10 +41,33 @@ type Parameters struct {
 	HW       int // secret Hamming weight; 0 ⇒ uniform ternary
 	MantBits int // FFT mantissa width (fftfp.FP55Mantissa on the accelerator)
 
+	// SpecialLimbs is the length k of the special-prime chain P used by
+	// hybrid key switching (also the decomposition group size α: the Q
+	// chain splits into dnum = ⌈Limbs/α⌉ groups). 0 disables the hybrid
+	// gadget; the BV digit gadget remains available either way.
+	SpecialLimbs int
+
 	ringQ    *ring.Ring
 	levels   []*ring.Ring // levels[l-1]: cached view at level l (AtLevel rebuilds CRT tables — too hot for per-op calls)
 	embedder *fftfp.Embedder
 	ownedEng *lanes.Engine // non-nil when SetWorkers installed a private engine
+
+	// Hybrid key-switching state (nil/empty when SpecialLimbs == 0).
+	qPrimes  []uint64   // the Q chain (ringQ's primes)
+	specials []uint64   // the P chain
+	ringP    *ring.Ring // ring over P (NTT tables for the special limbs)
+	pModQ    []uint64   // P mod q_i — the hybrid gadget factor per limb
+	pInvModQ []uint64   // P^{-1} mod q_i — the ModDown divisor per limb
+
+	// Lazily built, mutex-guarded hybrid caches: extended-basis ring views
+	// (q_0..q_{ℓ-1}, p_0..p_{k-1} is not a prefix of any single chain, so
+	// level views cannot ride rns.Basis.Sub) and the basis extenders for
+	// decomposition groups and for the ModDown P→Q_ℓ conversion.
+	hybridMu sync.Mutex
+	qpRings  map[int]*ring.Ring       // level → QP ring view
+	grpExt   map[[2]int]*rns.Extender // (level, group) → group → QP_ℓ extender
+	pExt     map[int]*rns.Extender    // level → P → Q_ℓ extender
+	curEng   *lanes.Engine            // engine mirrored onto lazily created views
 }
 
 // Preset parameter sets.
@@ -51,15 +77,15 @@ type Parameters struct {
 // to 24" — double-scale), encrypted at full depth, decrypted at the 2-limb
 // state ciphertexts return from the server in.
 var (
-	PN16 = ParamSpec{LogN: 16, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192}
-	PN15 = ParamSpec{LogN: 15, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192}
-	PN14 = ParamSpec{LogN: 14, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192}
-	PN13 = ParamSpec{LogN: 13, LimbBits: 36, Limbs: 12, LogScale: 66, HW: 128}
+	PN16 = ParamSpec{LogN: 16, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192, SpecialLimbs: 4}
+	PN15 = ParamSpec{LogN: 15, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192, SpecialLimbs: 4}
+	PN14 = ParamSpec{LogN: 14, LimbBits: 36, Limbs: 24, LogScale: 66, HW: 192, SpecialLimbs: 4}
+	PN13 = ParamSpec{LogN: 13, LimbBits: 36, Limbs: 12, LogScale: 66, HW: 128, SpecialLimbs: 3}
 
 	// TestParams is a fast set for unit tests: small ring, short chain.
-	TestParams = ParamSpec{LogN: 10, LimbBits: 36, Limbs: 4, LogScale: 30, HW: 64}
+	TestParams = ParamSpec{LogN: 10, LimbBits: 36, Limbs: 4, LogScale: 30, HW: 64, SpecialLimbs: 2}
 	// TinyParams is even smaller, for exhaustive-ish property tests.
-	TinyParams = ParamSpec{LogN: 8, LimbBits: 30, Limbs: 3, LogScale: 25, HW: 32}
+	TinyParams = ParamSpec{LogN: 8, LimbBits: 30, Limbs: 3, LogScale: 25, HW: 32, SpecialLimbs: 1}
 )
 
 // ParamSpec is the serializable description from which Parameters are
@@ -71,12 +97,21 @@ type ParamSpec struct {
 	LogScale int
 	HW       int
 	MantBits int // 0 ⇒ full float64 mantissa
+	// SpecialLimbs is the special-prime chain length k for hybrid key
+	// switching (0 disables it). It is also the decomposition group size
+	// α, so one byte on the wire fixes the whole hybrid geometry.
+	SpecialLimbs int
 }
 
 // MaxLimbs bounds the RNS chain length Build accepts — double the
 // paper's deepest (24-limb double-scale) chain, and the cap that keeps a
 // hostile wire-embedded spec from demanding unbounded NTT tables.
 const MaxLimbs = 48
+
+// MaxSpecialLimbs bounds the special-prime chain. Noise control needs P
+// no shorter than the largest decomposition group, and key size grows
+// with k, so practical values are small; 8 bounds hostile wire specs.
+const MaxSpecialLimbs = 8
 
 // Validate range-checks the spec without allocating anything. Build calls
 // it first; wire-facing constructors can call it on specs read from
@@ -101,6 +136,9 @@ func (s ParamSpec) Validate() error {
 	}
 	if s.MantBits != 0 && (s.MantBits < 10 || s.MantBits > fftfp.Float64Mantissa) {
 		return fmt.Errorf("ckks: mantissa width %d not in [10, %d]", s.MantBits, fftfp.Float64Mantissa)
+	}
+	if s.SpecialLimbs < 0 || s.SpecialLimbs > MaxSpecialLimbs {
+		return fmt.Errorf("ckks: specialLimbs=%d not in [0, %d]", s.SpecialLimbs, MaxSpecialLimbs)
 	}
 	return nil
 }
@@ -135,22 +173,46 @@ func (s ParamSpec) Build() (*Parameters, error) {
 	p := &Parameters{
 		LogN: s.LogN, LimbBits: s.LimbBits, Limbs: s.Limbs,
 		LogScale: s.LogScale, HW: s.HW, MantBits: mant,
+		SpecialLimbs: s.SpecialLimbs,
 	}
-	qs, err := genNTTPrimes(s.Limbs, s.LimbBits, s.LogN)
+	// One downward scan yields the Q chain followed by the P chain, so
+	// adding special primes never changes the Q primes a spec without them
+	// would get (ciphertext bytes are gadget-independent).
+	all, err := genNTTPrimes(s.Limbs+s.SpecialLimbs, s.LimbBits, s.LogN)
 	if err != nil {
 		return nil, err
 	}
+	qs := all[:s.Limbs]
 	r, err := ring.NewRing(1<<uint(s.LogN), qs)
 	if err != nil {
 		return nil, err
 	}
 	p.ringQ = r
+	p.qPrimes = qs
 	p.levels = make([]*ring.Ring, s.Limbs)
 	for l := 1; l < s.Limbs; l++ {
 		p.levels[l-1] = r.AtLevel(l)
 	}
 	p.levels[s.Limbs-1] = r
 	p.embedder = fftfp.NewEmbedder(s.LogN)
+
+	if s.SpecialLimbs > 0 {
+		p.specials = all[s.Limbs:]
+		p.ringP, err = ring.NewRing(1<<uint(s.LogN), p.specials)
+		if err != nil {
+			return nil, err
+		}
+		p.pModQ = make([]uint64, s.Limbs)
+		p.pInvModQ = make([]uint64, s.Limbs)
+		for i, m := range r.Basis.Moduli {
+			prod := uint64(1) % m.Q
+			for _, pj := range p.specials {
+				prod = m.Mul(prod, pj%m.Q)
+			}
+			p.pModQ[i] = prod
+			p.pInvModQ[i] = m.Inv(prod)
+		}
+	}
 	return p, nil
 }
 
@@ -206,11 +268,22 @@ func (p *Parameters) SetWorkers(n int) {
 	p.setEngineAll(p.ownedEng)
 }
 
-// setEngineAll installs e on the full ring and every cached level view.
+// setEngineAll installs e on the full ring, every cached level view, the
+// special-prime ring, and any extended-basis views built so far (views
+// built later inherit it through curEng).
 func (p *Parameters) setEngineAll(e *lanes.Engine) {
 	for _, rl := range p.levels {
 		rl.SetEngine(e)
 	}
+	if p.ringP != nil {
+		p.ringP.SetEngine(e)
+	}
+	p.hybridMu.Lock()
+	p.curEng = e
+	for _, r := range p.qpRings {
+		r.SetEngine(e)
+	}
+	p.hybridMu.Unlock()
 }
 
 // Workers reports the current lane count.
@@ -224,6 +297,111 @@ func (p *Parameters) Close() {
 		p.ownedEng = nil
 		p.setEngineAll(nil)
 	}
+}
+
+// ---------------------------------------------------------------------
+// Hybrid key-switching geometry (special primes P, extended-basis views)
+// ---------------------------------------------------------------------
+
+// Alpha returns the decomposition group size of the hybrid gadget (the
+// special-prime count); 0 when the parameter set carries no special
+// primes.
+func (p *Parameters) Alpha() int { return p.SpecialLimbs }
+
+// DnumAt returns the number of decomposition groups a level-`level`
+// ciphertext splits into: ⌈level/α⌉.
+func (p *Parameters) DnumAt(level int) int {
+	if p.SpecialLimbs == 0 {
+		panic("ckks: hybrid geometry on parameters without special primes")
+	}
+	return (level + p.SpecialLimbs - 1) / p.SpecialLimbs
+}
+
+// SpecialPrimes returns the P chain (nil when SpecialLimbs == 0).
+func (p *Parameters) SpecialPrimes() []uint64 { return p.specials }
+
+// RingP returns the ring over the special primes.
+func (p *Parameters) RingP() *ring.Ring {
+	if p.ringP == nil {
+		panic("ckks: RingP on parameters without special primes")
+	}
+	return p.ringP
+}
+
+// RingQPAt returns the (cached) extended-basis ring over q_0..q_{level-1},
+// p_0..p_{k-1} — the basis hybrid switching keys and hoisted digits live
+// in. The view shares the Q and P NTT tables (no table rebuild); only the
+// per-view RNS constants are constructed, once, under the lock.
+func (p *Parameters) RingQPAt(level int) *ring.Ring {
+	if p.SpecialLimbs == 0 {
+		panic("ckks: RingQPAt on parameters without special primes")
+	}
+	if level < 1 || level > p.Limbs {
+		panic("ckks: level out of range")
+	}
+	p.hybridMu.Lock()
+	defer p.hybridMu.Unlock()
+	if r, ok := p.qpRings[level]; ok {
+		return r
+	}
+	primes := make([]uint64, 0, level+p.SpecialLimbs)
+	primes = append(primes, p.qPrimes[:level]...)
+	primes = append(primes, p.specials...)
+	tables := append(append([]*ntt.Table(nil), p.ringQ.Tables[:level]...), p.ringP.Tables...)
+	r := &ring.Ring{N: p.N(), LogN: p.LogN, Basis: rns.MustBasis(primes), Tables: tables}
+	r.SetEngine(p.curEng)
+	if p.qpRings == nil {
+		p.qpRings = make(map[int]*ring.Ring)
+	}
+	p.qpRings[level] = r
+	return r
+}
+
+// groupRange returns the limb span [lo, hi) of decomposition group j at
+// the given level (the last group may be short).
+func (p *Parameters) groupRange(level, j int) (int, int) {
+	lo := j * p.SpecialLimbs
+	hi := lo + p.SpecialLimbs
+	if hi > level {
+		hi = level
+	}
+	return lo, hi
+}
+
+// groupExtender returns (building and caching on first use) the basis
+// extender from decomposition group j's primes to the full QP_ℓ basis.
+func (p *Parameters) groupExtender(level, j int) *rns.Extender {
+	p.hybridMu.Lock()
+	defer p.hybridMu.Unlock()
+	key := [2]int{level, j}
+	if e, ok := p.grpExt[key]; ok {
+		return e
+	}
+	lo, hi := p.groupRange(level, j)
+	dst := make([]uint64, 0, level+p.SpecialLimbs)
+	dst = append(dst, p.qPrimes[:level]...)
+	dst = append(dst, p.specials...)
+	e := rns.MustExtender(p.qPrimes[lo:hi], dst)
+	if p.grpExt == nil {
+		p.grpExt = make(map[[2]int]*rns.Extender)
+	}
+	p.grpExt[key] = e
+	return e
+}
+
+// modDownExtender returns the P → Q_ℓ extender ModDown uses.
+func (p *Parameters) modDownExtender(level int) *rns.Extender {
+	p.hybridMu.Lock()
+	defer p.hybridMu.Unlock()
+	if e, ok := p.pExt[level]; ok {
+		return e
+	}
+	e := rns.MustExtender(p.specials, p.qPrimes[:level])
+	if p.pExt == nil {
+		p.pExt = make(map[int]*rns.Extender)
+	}
+	p.pExt[level] = e
+	return e
 }
 
 // Embedder exposes the canonical-embedding FFT tables.

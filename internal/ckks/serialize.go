@@ -21,8 +21,13 @@ import (
 //	magic "ABCF" | version u8 | enc u8 | logN u8 | level u8 |
 //	scale f64 | domain u8 | payload (c0 limbs then c1 limbs)
 const (
-	wireMagic   = "ABCF"
-	wireVersion = 1
+	wireMagic = "ABCF"
+	// wireVersion 2: PR 5 grew the key header by a specialLimbs byte and
+	// the evaluation-key sub-header by a gadget byte. The bump makes every
+	// parser reject pre-hybrid blobs with a clean "unsupported version"
+	// instead of shifted-field garbage (the version byte is shared by the
+	// ciphertext and key formats, so all marshalers moved together).
+	wireVersion = 2
 
 	encWord   = 0
 	encPacked = 1

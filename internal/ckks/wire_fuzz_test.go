@@ -30,10 +30,11 @@ func fuzzSeedCorpus(t testing.TB) [][]byte {
 	seeded, _ := p.MarshalSeeded(sct)
 	pkData, _ := p.MarshalPublicKey(pk)
 	skData, _ := p.MarshalSecretKey(sk, seed)
-	evkData, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1}, true))
+	evkData, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1}, true, GadgetBV))
+	evkHybrid, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1}, true, GadgetHybrid))
 
-	corpus := [][]byte{nil, []byte("ABCF"), word, packed, seeded, pkData, skData, evkData}
-	for _, d := range [][]byte{packed, pkData, evkData} {
+	corpus := [][]byte{nil, []byte("ABCF"), word, packed, seeded, pkData, skData, evkData, evkHybrid}
+	for _, d := range [][]byte{packed, pkData, evkData, evkHybrid} {
 		corpus = append(corpus, d[:len(d)/2])
 		flipped := append([]byte(nil), d...)
 		flipped[len(flipped)/3] ^= 0x40
@@ -108,14 +109,18 @@ func FuzzUnmarshalEvaluationKeys(f *testing.F) {
 	p := testParams
 	kg := NewKeyGenerator(p, testSeed())
 	sk := kg.GenSecretKey()
-	evk, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1, 3}, true))
-	f.Add(evk)
-	// Reach every sub-header branch: bit-flip the key header, the eval
-	// sub-header and the rotation-step table byte by byte.
-	for i := 0; i < evalHeaderLen(2) && i < len(evk); i++ {
-		d := append([]byte(nil), evk...)
-		d[i] ^= 1 << uint(i%8)
-		f.Add(d)
+	// Both gadgets: the sub-header geometry (and the payload shape it
+	// implies) differs, so each needs its own corpus entries.
+	for _, gadget := range []Gadget{GadgetBV, GadgetHybrid} {
+		evk, _ := p.MarshalEvaluationKeySet(kg.GenEvaluationKeySet(sk, 2, []int{1, 3}, true, gadget))
+		f.Add(evk)
+		// Reach every sub-header branch: bit-flip the key header, the eval
+		// sub-header and the rotation-step table byte by byte.
+		for i := 0; i < evalHeaderLen(2) && i < len(evk); i++ {
+			d := append([]byte(nil), evk...)
+			d[i] ^= 1 << uint(i%8)
+			f.Add(d)
+		}
 	}
 	f.Fuzz(fuzzParse)
 }

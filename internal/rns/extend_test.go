@@ -1,0 +1,170 @@
+package rns
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/primes"
+	"repro/internal/prng"
+)
+
+// testPrimes returns distinct 36-bit NTT primes for a degree-2^10 ring —
+// the same family the CKKS chains draw from.
+func testPrimes(n int) []uint64 { return primes.GenerateNTTPrimes(n, 36, 10) }
+
+// extendOracle computes the exact centered value of the source residues
+// via big.Int and returns it (in (−G/2, G/2]).
+func extendOracle(src []uint64, primes []uint64) *big.Int {
+	b := MustBasis(primes)
+	return b.CombineCentered(src)
+}
+
+// TestExtenderMatchesOracle: the fast extension equals the centered lift
+// plus u·G for a single small integer u shared by every target — the
+// defining property of an approximate base conversion. u is recovered
+// from the first target and checked against all others and against the
+// |u| ≤ α bound.
+func TestExtenderMatchesOracle(t *testing.T) {
+	all := testPrimes(5)
+	srcPrimes := all[:2]
+	dstPrimes := []uint64{all[2], all[3], all[0], all[4]} // includes a source prime
+
+	e := MustExtender(srcPrimes, dstPrimes)
+	g := new(big.Int).SetInt64(1)
+	for _, q := range srcPrimes {
+		g.Mul(g, new(big.Int).SetUint64(q))
+	}
+
+	const n = 512
+	src := make([][]uint64, len(srcPrimes))
+	for i, q := range srcPrimes {
+		src[i] = make([]uint64, n)
+		s := prng.NewSource(prng.SeedFromUint64s(9, uint64(i)), 7)
+		s.UniformPoly(src[i], q)
+	}
+	dst := make([][]uint64, len(dstPrimes))
+	for t := range dst {
+		dst[t] = make([]uint64, n)
+	}
+	e.ExtendRange(src, dst, 0, n)
+
+	limb := make([]uint64, len(srcPrimes))
+	tmp := new(big.Int)
+	for j := 0; j < n; j++ {
+		for i := range srcPrimes {
+			limb[i] = src[i][j]
+		}
+		x := extendOracle(limb, srcPrimes)
+		// Recover the extension offset u per target: u ≡ (out − x)/G mod
+		// m_t. A target that is itself a source prime divides G (no
+		// inverse); there the residue must pass through exactly instead.
+		var u *big.Int
+		for ti, m := range dstPrimes {
+			mb := new(big.Int).SetUint64(m)
+			diff := new(big.Int).SetUint64(dst[ti][j])
+			diff.Sub(diff, x)
+			diff.Mod(diff, mb)
+			gInv := new(big.Int).ModInverse(tmp.Mod(g, mb), mb)
+			if gInv == nil {
+				if diff.Sign() != 0 {
+					t.Fatalf("coeff %d target %d: source-prime target not exact", j, ti)
+				}
+				continue
+			}
+			ui := diff.Mul(diff, gInv)
+			ui.Mod(ui, mb)
+			// Normalize to a small signed integer.
+			half := new(big.Int).Rsh(mb, 1)
+			if ui.Cmp(half) > 0 {
+				ui.Sub(ui, mb)
+			}
+			if ui.CmpAbs(big.NewInt(int64(len(srcPrimes)+1))) > 0 {
+				t.Fatalf("coeff %d target %d: offset %v exceeds α+1", j, ti, ui)
+			}
+			if u == nil {
+				u = new(big.Int).Set(ui)
+			} else if u.Cmp(ui) != 0 {
+				t.Fatalf("coeff %d target %d: offset %v inconsistent with %v", j, ti, ui, u)
+			}
+		}
+	}
+}
+
+// TestExtenderExactOnSourceLimbs: when a source prime is also a target,
+// its residue passes through exactly — the property that keeps hybrid
+// decomposition signal-exact on in-group limbs regardless of the float
+// rounding in v.
+func TestExtenderExactOnSourceLimbs(t *testing.T) {
+	all := testPrimes(3)
+	srcPrimes := all[:2]
+	dstPrimes := all[:3]
+	e := MustExtender(srcPrimes, dstPrimes)
+
+	const n = 256
+	src := make([][]uint64, len(srcPrimes))
+	for i, q := range srcPrimes {
+		src[i] = make([]uint64, n)
+		s := prng.NewSource(prng.SeedFromUint64s(3, uint64(i)), 11)
+		s.UniformPoly(src[i], q)
+	}
+	// Boundary values too.
+	src[0][0], src[1][0] = 0, 0
+	src[0][1], src[1][1] = srcPrimes[0]-1, srcPrimes[1]-1
+	dst := make([][]uint64, len(dstPrimes))
+	for ti := range dst {
+		dst[ti] = make([]uint64, n)
+	}
+	e.ExtendRange(src, dst, 0, n)
+	for j := 0; j < n; j++ {
+		if dst[0][j] != src[0][j] || dst[1][j] != src[1][j] {
+			t.Fatalf("coeff %d: source residues (%d, %d) not preserved (got %d, %d)",
+				j, src[0][j], src[1][j], dst[0][j], dst[1][j])
+		}
+	}
+}
+
+// TestExtenderChunkInvariance: any partition of the range computes the
+// same bytes (the lane-dispatch contract).
+func TestExtenderChunkInvariance(t *testing.T) {
+	all := testPrimes(4)
+	srcPrimes := all[:2]
+	dstPrimes := all[2:]
+	e := MustExtender(srcPrimes, dstPrimes)
+	const n = 300
+	src := make([][]uint64, 2)
+	for i, q := range srcPrimes {
+		src[i] = make([]uint64, n)
+		s := prng.NewSource(prng.SeedFromUint64s(5, uint64(i)), 13)
+		s.UniformPoly(src[i], q)
+	}
+	whole := [][]uint64{make([]uint64, n), make([]uint64, n)}
+	parts := [][]uint64{make([]uint64, n), make([]uint64, n)}
+	e.ExtendRange(src, whole, 0, n)
+	for lo := 0; lo < n; lo += 37 {
+		hi := lo + 37
+		if hi > n {
+			hi = n
+		}
+		e.ExtendRange(src, parts, lo, hi)
+	}
+	for ti := range whole {
+		for j := range whole[ti] {
+			if whole[ti][j] != parts[ti][j] {
+				t.Fatalf("target %d coeff %d differs across chunkings", ti, j)
+			}
+		}
+	}
+}
+
+func TestExtenderRejects(t *testing.T) {
+	if _, err := NewExtender(nil, []uint64{3}); err == nil {
+		t.Error("empty source accepted")
+	}
+	if _, err := NewExtender([]uint64{3}, nil); err == nil {
+		t.Error("empty target accepted")
+	}
+	long := testPrimes(extendMaxSource + 1)
+	if _, err := NewExtender(long, []uint64{3}); err == nil {
+		t.Error("oversized source basis accepted")
+	}
+}

@@ -90,24 +90,68 @@ func (o *KeyOwner) ExportSecretKey() ([]byte, error) {
 	return o.params.MarshalSecretKey(o.secret, o.seed)
 }
 
+// GadgetType selects the key-switching decomposition an exported
+// evaluation-key set is built for.
+type GadgetType int
+
+const (
+	// GadgetAuto (the default) selects hybrid key switching whenever the
+	// preset carries special primes — every shipped preset does — and
+	// falls back to the BV digit gadget otherwise.
+	GadgetAuto GadgetType = iota
+	// GadgetHybrid forces hybrid (P·Q) key switching: ⌈D/α⌉ key rows over
+	// the raised modulus, linear in depth — the construction every
+	// bootstrappable stack uses. Errors when the preset has no special
+	// primes.
+	GadgetHybrid
+	// GadgetBV forces the PR 4 digit-decomposition gadget (quadratic in
+	// depth). Kept for compatibility with servers that imported BV blobs.
+	GadgetBV
+)
+
 // EvalKeyConfig selects what KeyOwner.ExportEvaluationKeys generates.
 //
-// The BV gadget makes key size quadratic in depth — a depth-D set costs
-// (1 + rotations) · D² · digits · 2 packed polynomials — so export keys no
-// deeper than the circuit the server runs (MaxLevel) and only the
-// rotation steps it needs (Rotations; InnerSumRotations builds the
-// power-of-two ladder an inner sum or dot product consumes).
+// Key size depends on the gadget: the default hybrid gadget costs
+// (1 + rotations) · ⌈D/α⌉ · 2 packed polynomials of D+α limbs — linear in
+// depth D — while GadgetBV is quadratic ((1 + rotations) · D² · digits ·
+// 2). Either way, export keys no deeper than the circuit the server runs
+// (MaxLevel) and only the rotation steps it needs (Rotations;
+// InnerSumRotations builds the power-of-two ladder an inner sum or dot
+// product consumes).
 type EvalKeyConfig struct {
 	// MaxLevel caps the depth of every key in the set; key-gated server
 	// operations work on ciphertexts at level ≤ MaxLevel. 0 means full
-	// depth — fine for small presets, hundreds of MB per rotation at the
-	// paper-scale ones.
+	// depth — fine with the hybrid gadget, hundreds of MB per rotation at
+	// the paper-scale presets under GadgetBV.
 	MaxLevel int
 	// Rotations lists the slot steps to generate keys for (normalized
 	// cyclically, deduplicated; 0 is the identity and is skipped).
 	Rotations []int
 	// Conjugate additionally generates the complex-conjugation key.
 	Conjugate bool
+	// Gadget selects the decomposition (GadgetAuto ⇒ hybrid on every
+	// shipped preset).
+	Gadget GadgetType
+}
+
+// resolveGadget maps the public gadget selector onto the scheme layer's.
+func resolveGadget(g GadgetType, params *ckks.Parameters) (ckks.Gadget, error) {
+	switch g {
+	case GadgetAuto:
+		if params.SpecialLimbs > 0 {
+			return ckks.GadgetHybrid, nil
+		}
+		return ckks.GadgetBV, nil
+	case GadgetHybrid:
+		if params.SpecialLimbs == 0 {
+			return 0, fmt.Errorf("%w: hybrid key switching needs special primes; this parameter set has none",
+				ErrGadgetUnsupported)
+		}
+		return ckks.GadgetHybrid, nil
+	case GadgetBV:
+		return ckks.GadgetBV, nil
+	}
+	return 0, fmt.Errorf("%w: unknown gadget selector %d", ErrGadgetUnsupported, g)
 }
 
 // ExportEvaluationKeys generates and serializes an evaluation-key set for
@@ -130,8 +174,12 @@ func (o *KeyOwner) ExportEvaluationKeys(cfg EvalKeyConfig) ([]byte, error) {
 		return nil, fmt.Errorf("%w: evaluation-key depth %d not in [1, %d]",
 			ErrLevelOutOfRange, maxLevel, o.params.MaxLevel())
 	}
+	gadget, err := resolveGadget(cfg.Gadget, o.params)
+	if err != nil {
+		return nil, err
+	}
 	ks := ckks.NewKeyGenerator(o.params, o.seed).
-		GenEvaluationKeySet(o.secret, maxLevel, cfg.Rotations, cfg.Conjugate)
+		GenEvaluationKeySet(o.secret, maxLevel, cfg.Rotations, cfg.Conjugate, gadget)
 	return o.params.MarshalEvaluationKeySet(ks)
 }
 

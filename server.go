@@ -86,6 +86,16 @@ type EvaluationKeys struct {
 // operations are limited to ciphertexts at level ≤ MaxLevel.
 func (k *EvaluationKeys) MaxLevel() int { return k.set.MaxLevel }
 
+// Gadget reports which key-switching decomposition the imported set was
+// built for (GadgetHybrid or GadgetBV — an imported set is never
+// GadgetAuto).
+func (k *EvaluationKeys) Gadget() GadgetType {
+	if k.set.Gadget == ckks.GadgetHybrid {
+		return GadgetHybrid
+	}
+	return GadgetBV
+}
+
 // RotationSteps lists the rotation steps the set carries, ascending.
 func (k *EvaluationKeys) RotationSteps() []int { return k.set.Steps() }
 
