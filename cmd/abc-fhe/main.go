@@ -230,6 +230,7 @@ func runEval(args []string) error {
 	rescale := fs.Int("rescale", 0, "Rescale the result n times (a mul consumes 1, or 2 on double-scale presets)")
 	outPath := fs.String("out", "ct.out.bin", "output ciphertext file")
 	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	backend := fs.String("backend", "", "execution backend: fast or portable (default: $ABCFHE_BACKEND or fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -241,7 +242,8 @@ func runEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	server, evk, err := abcfhe.NewServerFromEvaluationKeys(evkBytes, abcfhe.WithWorkers(*workers))
+	server, evk, err := abcfhe.NewServerFromEvaluationKeys(evkBytes,
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}
@@ -331,6 +333,7 @@ func runEncrypt(args []string) error {
 	seedLo := fs.Uint64("seed-lo", 0, "low 64 bits of this device's randomness seed (default: crypto/rand)")
 	seedHi := fs.Uint64("seed-hi", 0, "high 64 bits of this device's randomness seed (default: crypto/rand)")
 	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	backend := fs.String("backend", "", "execution backend: fast or portable (default: $ABCFHE_BACKEND or fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -350,7 +353,8 @@ func runEncrypt(args []string) error {
 		return err
 	}
 	// The device role: built from public-key bytes alone.
-	enc, err := abcfhe.NewEncryptor(pkBytes, lo, hi, abcfhe.WithWorkers(*workers))
+	enc, err := abcfhe.NewEncryptor(pkBytes, lo, hi,
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}
@@ -496,6 +500,7 @@ func runDemo(args []string) error {
 	preset := fs.String("preset", "Test", "parameter preset: Test, PN13..PN16")
 	slots := fs.Int("slots", 0, "message slots to fill (0 = all)")
 	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	backend := fs.String("backend", "", "execution backend: fast or portable (default: $ABCFHE_BACKEND or fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -504,7 +509,7 @@ func runDemo(args []string) error {
 	// machines: the owner exports a public key, a device encrypts with it,
 	// the server evaluates keylessly, the owner decrypts.
 	owner, err := abcfhe.NewKeyOwner(abcfhe.Preset(*preset), 0x0123456789ABCDEF, 0xFEDCBA9876543210,
-		abcfhe.WithWorkers(*workers))
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}
@@ -512,11 +517,13 @@ func runDemo(args []string) error {
 	if err != nil {
 		return err
 	}
-	device, err := abcfhe.NewEncryptor(pkBytes, 0xD0D0CACA, 0xBEBACAFE, abcfhe.WithWorkers(*workers))
+	device, err := abcfhe.NewEncryptor(pkBytes, 0xD0D0CACA, 0xBEBACAFE,
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}
-	server, err := abcfhe.NewServer(abcfhe.Preset(*preset), abcfhe.WithWorkers(*workers))
+	server, err := abcfhe.NewServer(abcfhe.Preset(*preset),
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}

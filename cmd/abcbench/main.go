@@ -13,12 +13,14 @@
 //
 // Benchmark-regression gate (the CI `bench-check` step):
 //
-//	abcbench -check -out BENCH_5.json -budget bench_budget.json
+//	abcbench -check -out BENCH_6.json -budget bench_budget.json
 //
-// runs the MulRelin (hybrid vs BV at max level on PN15), Rotate,
-// DecryptDecode and EncodeEncrypt benchmarks, writes the JSON report, and
+// runs the MulRelin (hybrid vs BV at max level on PN15, under both the
+// portable and fast execution backends), Rotate, DecryptDecode and
+// EncodeEncrypt benchmarks, appends the JSON report to the out file, and
 // exits non-zero when allocs/op or evaluation-key blob bytes regress past
-// the committed budgets — or when hybrid stops beating BV.
+// the committed budgets — or when hybrid stops beating BV, or the fast
+// backend's fused key switch stops beating the portable staged path.
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	check := flag.Bool("check", false, "run the benchmark-regression gate instead of experiments")
-	checkOut := flag.String("out", "BENCH_5.json", "bench-check: report output path")
+	checkOut := flag.String("out", "BENCH_6.json", "bench-check: report output path (appended to, not overwritten)")
 	checkBudget := flag.String("budget", "bench_budget.json", "bench-check: committed budget file")
 	flag.Parse()
 

@@ -1,12 +1,15 @@
 // Benchmark-regression gate (the `abcbench -check` mode CI runs): execute
-// the key-switch and client-pipeline benchmarks, write a machine-readable
-// BENCH_5.json report, and fail when an allocation count or evaluation-key
-// blob size regresses past the budgets committed in bench_budget.json.
+// the key-switch and client-pipeline benchmarks under both execution
+// backends, append a machine-readable report to BENCH_6.json, and fail
+// when an allocation count or evaluation-key blob size regresses past the
+// budgets committed in bench_budget.json.
 //
-// Wall-clock numbers are recorded but only gated *relatively* (hybrid
-// MulRelin must beat BV at max level on PN15, the structural claim hybrid
-// key switching exists for) — absolute ns/op budgets would flap with CI
-// hardware, while allocs/op and wire bytes are deterministic.
+// Wall-clock numbers are recorded but only gated *relatively* — hybrid
+// MulRelin must beat BV at max level on PN15 (the structural claim hybrid
+// key switching exists for), and the fast backend's fused pipeline must
+// beat the portable staged one on the same op (the claim the backend seam
+// exists for). Absolute ns/op budgets would flap with CI hardware, while
+// allocs/op and wire bytes are deterministic.
 
 package bench
 
@@ -20,10 +23,11 @@ import (
 	"testing"
 
 	"repro/internal/ckks"
+	"repro/internal/lanes"
 	"repro/internal/prng"
 )
 
-// BenchRecord is one row of BENCH_5.json.
+// BenchRecord is one row of a BENCH_6.json report.
 type BenchRecord struct {
 	Op          string  `json:"op"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
@@ -32,10 +36,13 @@ type BenchRecord struct {
 	BlobBytes   int64   `json:"evk_blob_bytes,omitempty"`
 }
 
-// BenchReport is the BENCH_5.json document.
+// BenchReport is one gate run. BENCH_6.json holds an array of these —
+// RunBenchCheck appends rather than overwrites, so a committed baseline
+// survives CI re-runs and speedups stay comparable across PRs.
 type BenchReport struct {
 	GoVersion string        `json:"go_version"`
 	GOARCH    string        `json:"goarch"`
+	Backends  []string      `json:"backends,omitempty"`
 	Records   []BenchRecord `json:"records"`
 }
 
@@ -121,7 +128,31 @@ func budgetFailures(report BenchReport, budgets map[string]budgetEntry) []string
 	return failures
 }
 
-// RunBenchCheck executes the gate, writes the report to outPath, and
+// appendReport adds report to the array document at outPath, creating the
+// file when absent. A legacy single-object report (the BENCH_5.json shape)
+// is lifted into a one-element array so history is kept, not clobbered.
+func appendReport(outPath string, report BenchReport) error {
+	var reports []BenchReport
+	if data, err := os.ReadFile(outPath); err == nil {
+		if jerr := json.Unmarshal(data, &reports); jerr != nil {
+			var single BenchReport
+			if serr := json.Unmarshal(data, &single); serr != nil {
+				return fmt.Errorf("existing report %s is neither an array nor a single report: %v", outPath, jerr)
+			}
+			reports = []BenchReport{single}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	reports = append(reports, report)
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+// RunBenchCheck executes the gate, appends the report to outPath, and
 // compares it against the budgets at budgetPath. Progress and the verdict
 // go to w. A nil error means every gate passed.
 func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
@@ -131,7 +162,11 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bench-check: %w", err)
 	}
-	report := BenchReport{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	report := BenchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Backends:  []string{lanes.Portable.Name(), lanes.Fast.Name()},
+	}
 	add := func(r BenchRecord) {
 		report.Records = append(report.Records, r)
 		if r.BlobBytes != 0 {
@@ -143,7 +178,11 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	}
 
 	// --- Client pipeline (Test preset): EncodeEncrypt / DecryptDecode ---
+	// Pinned to the fast backend regardless of ABCFHE_BACKEND so the
+	// committed budgets gate one configuration, not whatever the CI
+	// environment happens to export.
 	pTest := ckks.TestParams.MustBuild()
+	pTest.SetBackend(lanes.Fast)
 	kgT := ckks.NewKeyGenerator(pTest, gateSeed())
 	skT, pkT := kgT.GenKeyPair()
 	encT := ckks.NewEncoder(pTest)
@@ -170,15 +209,33 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 		}
 	})))
 
-	// --- Rotations (Test preset, max level), both gadgets ---
+	// --- Rotations (Test preset, max level), both gadgets and backends.
+	// Key material and ciphertext bytes are backend-independent, so one
+	// key serves both measurements; only the execution strategy flips.
+	// The portable run keeps the historical op name for budget continuity;
+	// the fast run exercises the fused key-switch pipeline. Each op runs
+	// once before its benchmark: ops near or above benchtime report a
+	// b.N=1 round, and an unwarmed round would charge the one-time pool
+	// population to allocs/op — the budgets gate the steady state.
 	ctT := encryptorT.Encrypt(encT.Encode(msgT))
 	g1 := pTest.GaloisElement(1)
 	rotHy := kgT.GenRotationKeyHybridAt(g1, pTest.MaxLevel())
-	add(record("RotateHybrid", testing.Benchmark(func(b *testing.B) {
+	pTest.SetBackend(lanes.Portable)
+	evT.RotateGalois(ctT, rotHy)
+	rotPort := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			evT.RotateGalois(ctT, rotHy)
 		}
-	})))
+	})
+	add(record("RotateHybrid", rotPort))
+	pTest.SetBackend(lanes.Fast)
+	evT.RotateGalois(ctT, rotHy)
+	rotFused := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evT.RotateGalois(ctT, rotHy)
+		}
+	})
+	add(record("RotateHybridFused", rotFused))
 	rotBV := kgT.GenRotationKeyAt(skT, g1, pTest.MaxLevel())
 	add(record("RotateBV", testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -186,8 +243,10 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 		}
 	})))
 
-	// --- The headline: MulRelin at max level on PN15, hybrid vs BV ---
+	// --- The headline: MulRelin at max level on PN15 — hybrid under both
+	// backends (staged portable vs fused fast), then BV as the baseline ---
 	p15 := ckks.PN15.MustBuild()
+	p15.SetBackend(lanes.Fast)
 	kg15 := ckks.NewKeyGenerator(p15, gateSeed())
 	sk15, pk15 := kg15.GenKeyPair()
 	enc15 := ckks.NewEncoder(p15)
@@ -196,14 +255,48 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	msg15 := benchMsg(p15)
 	ct15 := encryptor15.Encrypt(enc15.Encode(msg15))
 
+	// The PN15 hoisted rotation first — the op the fused pipeline's hoist
+	// stage exists for, at a geometry where kernel time (not dispatch
+	// overhead) dominates.
+	fmt.Fprintln(w, "generating PN15 hybrid rotation key (max depth)…")
+	rot15 := kg15.GenRotationKeyHybridAt(p15.GaloisElement(1), p15.MaxLevel())
+	p15.SetBackend(lanes.Portable)
+	ev15.RotateGalois(ct15, rot15)
+	rot15Port := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.RotateGalois(ct15, rot15)
+		}
+	})
+	add(record("RotateHybridPN15", rot15Port))
+	p15.SetBackend(lanes.Fast)
+	ev15.RotateGalois(ct15, rot15)
+	rot15Fused := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.RotateGalois(ct15, rot15)
+		}
+	})
+	add(record("RotateHybridFusedPN15", rot15Fused))
+	rot15 = nil
+	runtime.GC()
+
 	fmt.Fprintln(w, "generating PN15 hybrid relinearization key (max depth)…")
 	rlkHy := kg15.GenRelinearizationKeyHybridAt(p15.MaxLevel())
-	hyBench := testing.Benchmark(func(b *testing.B) {
+	p15.SetBackend(lanes.Portable)
+	ev15.MulRelin(ct15, ct15, rlkHy)
+	hyPortBench := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ev15.MulRelin(ct15, ct15, rlkHy)
 		}
 	})
-	add(record("MulRelinHybridPN15", hyBench))
+	add(record("MulRelinHybridPN15", hyPortBench))
+	p15.SetBackend(lanes.Fast)
+	ev15.MulRelin(ct15, ct15, rlkHy)
+	hyFusedBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.MulRelin(ct15, ct15, rlkHy)
+		}
+	})
+	add(record("MulRelinHybridPN15Fused", hyFusedBench))
 	rlkHy = nil
 	runtime.GC()
 
@@ -226,22 +319,33 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	add(BenchRecord{Op: "EvkBlobHybridPN15", BlobBytes: hyBlob})
 	add(BenchRecord{Op: "EvkBlobBVPN15", BlobBytes: bvBlob})
 
-	// --- Write the report ---
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	// --- Append the report ---
+	if err := appendReport(outPath, report); err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "report -> %s\n", outPath)
+	fmt.Fprintf(w, "report appended -> %s\n", outPath)
 
 	// --- Relative gates ---
 	var failures []string
-	if hyBench.NsPerOp() >= bvBench.NsPerOp() {
+	if hyFusedBench.NsPerOp() >= bvBench.NsPerOp() {
 		failures = append(failures, fmt.Sprintf(
 			"hybrid MulRelin (%d ns/op) does not beat BV (%d ns/op) at max level on PN15",
-			hyBench.NsPerOp(), bvBench.NsPerOp()))
+			hyFusedBench.NsPerOp(), bvBench.NsPerOp()))
+	}
+	if hyFusedBench.NsPerOp() >= hyPortBench.NsPerOp() {
+		failures = append(failures, fmt.Sprintf(
+			"fused MulRelin on the fast backend (%d ns/op) does not beat the portable staged path (%d ns/op)",
+			hyFusedBench.NsPerOp(), hyPortBench.NsPerOp()))
+	}
+	if rotFused.NsPerOp() >= rotPort.NsPerOp() {
+		failures = append(failures, fmt.Sprintf(
+			"fused Rotate on the fast backend (%d ns/op) does not beat the portable staged path (%d ns/op)",
+			rotFused.NsPerOp(), rotPort.NsPerOp()))
+	}
+	if rot15Fused.NsPerOp() >= rot15Port.NsPerOp() {
+		failures = append(failures, fmt.Sprintf(
+			"fused Rotate on the fast backend (%d ns/op) does not beat the portable staged path (%d ns/op) on PN15",
+			rot15Fused.NsPerOp(), rot15Port.NsPerOp()))
 	}
 	if hyBlob >= bvBlob {
 		failures = append(failures, fmt.Sprintf(

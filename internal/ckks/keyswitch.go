@@ -294,6 +294,9 @@ func (p *Parameters) hoistHybrid(c *ring.Poly, level int) *hoistedDigits {
 // hoistFor runs the decomposition matching the switching key's gadget.
 func (p *Parameters) hoistFor(c *ring.Poly, level int, ksk *SwitchingKey) *hoistedDigits {
 	if ksk.Gadget == GadgetHybrid {
+		if p.ringQ.Backend().Specialized() {
+			return p.hoistHybridFused(c, level)
+		}
 		return p.hoistHybrid(c, level)
 	}
 	return p.hoistDigits(c, level, ksk.Digits)
@@ -338,7 +341,6 @@ func (p *Parameters) applyHybridInto(h *hoistedDigits, ksk *SwitchingKey, perm [
 	s1 := rqp.GetPoly()
 	s0.IsNTT, s1.IsNTT = true, true
 	rqp.Engine().Run(level+k, func(m int) {
-		md := rqp.Basis.Moduli[m]
 		km := m // key-row limb index: Q part aligns, P tail sits at ksk.Level
 		if m >= level {
 			km = ksk.Level + (m - level)
@@ -348,18 +350,7 @@ func (p *Parameters) applyHybridInto(h *hoistedDigits, ksk *SwitchingKey, perm [
 			d := dj.Coeffs[m]
 			k0 := ksk.H0[j].Coeffs[km]
 			k1 := ksk.H1[j].Coeffs[km]
-			if perm == nil {
-				for x := range a0 {
-					a0[x] = md.Add(a0[x], md.Mul(d[x], k0[x]))
-					a1[x] = md.Add(a1[x], md.Mul(d[x], k1[x]))
-				}
-				continue
-			}
-			for x := range a0 {
-				dp := d[perm[x]]
-				a0[x] = md.Add(a0[x], md.Mul(dp, k0[x]))
-				a1[x] = md.Add(a1[x], md.Mul(dp, k1[x]))
-			}
+			rqp.MulAddPairRow(m, perm, d, k0, k1, a0, a1)
 		}
 	})
 	p.modDownInto(s0, level, acc0)
@@ -397,25 +388,13 @@ func (p *Parameters) applyHoistedInto(h *hoistedDigits, ksk *SwitchingKey, perm 
 	}
 	rl := p.RingAt(h.level)
 	rl.Engine().Run(h.level, func(k int) {
-		m := rl.Basis.Moduli[k]
 		a0, a1 := acc0.Coeffs[k], acc1.Coeffs[k]
 		for i := 0; i < h.level; i++ {
 			for t := 0; t < ksk.Digits; t++ {
 				d := h.dig[i*h.digits+t].Coeffs[k]
 				k0 := ksk.K0[i][t].Coeffs[k]
 				k1 := ksk.K1[i][t].Coeffs[k]
-				if perm == nil {
-					for j := range a0 {
-						a0[j] = m.Add(a0[j], m.Mul(d[j], k0[j]))
-						a1[j] = m.Add(a1[j], m.Mul(d[j], k1[j]))
-					}
-					continue
-				}
-				for j := range a0 {
-					dp := d[perm[j]]
-					a0[j] = m.Add(a0[j], m.Mul(dp, k0[j]))
-					a1[j] = m.Add(a1[j], m.Mul(dp, k1[j]))
-				}
+				rl.MulAddPairRow(k, perm, d, k0, k1, a0, a1)
 			}
 		}
 	})
@@ -510,8 +489,15 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Cipher
 	rl.PutPoly(b1)
 
 	// Key-switch c2 (the decomposition reads the coefficient domain), then
-	// accumulate directly into the result halves.
+	// accumulate directly into the result halves. The fast backend runs
+	// the hybrid switch fused (closing INTTs folded into its last stage);
+	// the staged path is the portable reference.
 	rl.INTT(c2)
+	if ev.params.useFused(rlk.K) {
+		ev.params.switchHybridFused(c2, level, rlk.K, nil, c0, c1, true)
+		rl.PutPoly(c2)
+		return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: a.Scale * b.Scale}
+	}
 	h := ev.params.hoistFor(c2, level, rlk.K)
 	rl.PutPoly(c2)
 	ev.params.applyInto(h, rlk.K, nil, c0, c1)
@@ -632,10 +618,36 @@ func (kg *KeyGenerator) GenRotationKeyHybridAt(g, depth int) *RotationKey {
 // key switch runs on hoisted digits (the single-rotation degenerate case
 // of RotateHoisted); σ(c0) is applied in the coefficient domain.
 func (ev *Evaluator) RotateGalois(ct *Ciphertext, rk *RotationKey) *Ciphertext {
+	if ev.params.useFused(rk.K) {
+		return ev.rotateFused(ct, rk)
+	}
 	h := ev.params.hoistFor(ct.C1, ct.Level, rk.K)
 	out := ev.rotateFromDigits(ct, h, rk)
 	ev.params.releaseDigits(h)
 	return out
+}
+
+// rotateFused is RotateGalois on the fused pipeline: the hoisted digits
+// are never materialized (single-rotation case — nothing reuses them),
+// the permuted switch lands directly in the result halves, and the
+// closing INTTs ride the divide stage.
+func (ev *Evaluator) rotateFused(ct *Ciphertext, rk *RotationKey) *Ciphertext {
+	level := ct.Level
+	if level > rk.K.Level {
+		panic("ckks: ciphertext level exceeds rotation-key depth")
+	}
+	rl := ev.ringAt(level)
+	out0 := rl.NewPoly() // returned — caller-owned, never pooled
+	out1 := rl.NewPoly()
+	out0.IsNTT, out1.IsNTT = true, true
+	ev.params.switchHybridFused(ct.C1, level, rk.K, rk.Perm, out0, out1, true)
+
+	c0g := rl.GetPolyUninit() // automorphism writes every index
+	rl.AutomorphismCoeff(ct.C0, rk.G, c0g)
+	rl.Add(out0, c0g, out0)
+	rl.PutPoly(c0g)
+
+	return &Ciphertext{C0: out0, C1: out1, Level: level, Scale: ct.Scale}
 }
 
 // RotateHoisted rotates one ciphertext by every key in rks, paying the

@@ -168,15 +168,32 @@ offer:
 	}
 }
 
-// RunChunks splits [0, n) into at most Workers contiguous chunks and runs
-// fn(lo, hi) for each — the shape coefficient-indexed kernels (encode's
-// RNS expansion, decode's CRT combine) want, where per-index dispatch
-// would be all overhead.
+// chunkOversubscribe is how many chunks RunChunks carves per worker.
+// Chunks are claimed through Run's work-stealing cursor, so a worker
+// that finishes early (or joins late because the pool was busy) picks up
+// the tail another lane would otherwise idle through — the CRT-combine
+// tails that motivated this are exactly that shape. 4 keeps per-chunk
+// dispatch overhead negligible while bounding any single straggler to
+// ~1/(4·Workers) of the range.
+const chunkOversubscribe = 4
+
+// RunChunks splits [0, n) into contiguous chunks and runs fn(lo, hi) for
+// each — the shape coefficient-indexed kernels (encode's RNS expansion,
+// decode's CRT combine, ModUp base conversion) want, where per-index
+// dispatch would be all overhead. It carves chunkOversubscribe chunks per
+// worker and lets Run's cursor balance them, so uneven per-chunk cost no
+// longer pins the whole call to the slowest fixed assignment. Chunk
+// boundaries are an execution detail: fn must compute per-index results
+// that do not depend on the partition (every caller here does — disjoint
+// output indices, pure per-coefficient arithmetic).
 func (e *Engine) RunChunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	chunks := e.Workers()
+	if chunks > 1 {
+		chunks *= chunkOversubscribe
+	}
 	if chunks > n {
 		chunks = n
 	}

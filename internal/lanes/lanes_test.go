@@ -62,6 +62,72 @@ func TestRunChunksCover(t *testing.T) {
 	}
 }
 
+// TestRunChunksOversubscribes: with multiple workers, RunChunks carves
+// more chunks than lanes so the work-stealing cursor can rebalance
+// stragglers; a single-worker engine keeps the one-call fast path.
+func TestRunChunksOversubscribes(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	var calls atomic.Int32
+	e.RunChunks(4096, func(lo, hi int) { calls.Add(1) })
+	if got, want := int(calls.Load()), 4*chunkOversubscribe; got != want {
+		t.Fatalf("4-worker RunChunks issued %d chunks, want %d", got, want)
+	}
+	var serial atomic.Int32
+	New(1).RunChunks(4096, func(lo, hi int) { serial.Add(1) })
+	if serial.Load() != 1 {
+		t.Fatalf("1-worker RunChunks issued %d chunks, want 1", serial.Load())
+	}
+	// Tiny n: never more chunks than indices.
+	calls.Store(0)
+	e.RunChunks(3, func(lo, hi int) {
+		if hi != lo+1 {
+			t.Fatalf("n=3 chunk [%d,%d) wider than one index", lo, hi)
+		}
+		calls.Add(1)
+	})
+	if calls.Load() != 3 {
+		t.Fatalf("n=3 issued %d chunks", calls.Load())
+	}
+}
+
+func TestBackendIdentities(t *testing.T) {
+	if Portable.Name() != "portable" || Portable.Specialized() {
+		t.Fatal("portable backend misdescribes itself")
+	}
+	if Fast.Name() != "fast" || !Fast.Specialized() {
+		t.Fatal("fast backend misdescribes itself")
+	}
+	bs := Backends()
+	if len(bs) != 2 || bs[0] != Portable || bs[1] != Fast {
+		t.Fatalf("Backends() = %v", bs)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, b := range Backends() {
+		got, err := ParseBackend(b.Name())
+		if err != nil || got != b {
+			t.Fatalf("ParseBackend(%q) = %v, %v", b.Name(), got, err)
+		}
+	}
+	if _, err := ParseBackend("simd512"); err == nil {
+		t.Fatal("unknown backend name must error")
+	}
+}
+
+// DefaultBackend is env-resolved once per process; all this test can
+// assert portably is that it answers with one of the registered backends.
+func TestDefaultBackendRegistered(t *testing.T) {
+	d := DefaultBackend()
+	for _, b := range Backends() {
+		if d == b {
+			return
+		}
+	}
+	t.Fatalf("DefaultBackend() = %v not in Backends()", d)
+}
+
 func TestPanicPropagates(t *testing.T) {
 	e := New(4)
 	defer e.Close()

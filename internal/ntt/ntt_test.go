@@ -327,3 +327,78 @@ func BenchmarkNTTForwardLazy65536(b *testing.B) {
 		tbl.ForwardLazy(a)
 	}
 }
+
+func TestInverseLazyMatchesInverse(t *testing.T) {
+	for _, cfg := range testCfgs {
+		tbl := MustTable(cfg.n, cfg.q)
+		a := randPoly(cfg.n, cfg.q, 10)
+		tbl.Forward(a) // inverse-transform a genuine evaluation vector
+		ref := append([]uint64(nil), a...)
+		lz := append([]uint64(nil), a...)
+		tbl.Inverse(ref)
+		tbl.InverseLazy(lz)
+		for i := range ref {
+			if ref[i] != lz[i] {
+				t.Fatalf("N=%d q=%d: lazy inverse differs at %d: %d vs %d",
+					cfg.n, cfg.q, i, lz[i], ref[i])
+			}
+		}
+	}
+}
+
+// Property: lazy and strict inverse transforms agree on arbitrary inputs
+// (any canonical vector is a legal evaluation vector — the transform pair
+// is a bijection on [0, q)^N).
+func TestInverseLazyQuick(t *testing.T) {
+	tbl := MustTable(256, 7681)
+	f := func(seed int64) bool {
+		a := randPoly(256, tbl.Mod.Q, seed)
+		b := append([]uint64(nil), a...)
+		tbl.Inverse(a)
+		tbl.InverseLazy(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The lazy round trip composes: ForwardLazy then InverseLazy restores the
+// input exactly (both kernels normalize canonically at their boundary).
+func TestLazyRoundTripIdentity(t *testing.T) {
+	for _, cfg := range testCfgs {
+		tbl := MustTable(cfg.n, cfg.q)
+		a := randPoly(cfg.n, cfg.q, 11)
+		want := append([]uint64(nil), a...)
+		tbl.ForwardLazy(a)
+		tbl.InverseLazy(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("N=%d q=%d: lazy round trip differs at %d", cfg.n, cfg.q, i)
+			}
+		}
+	}
+}
+
+func BenchmarkNTTInverse65536(b *testing.B) {
+	tbl := MustTable(65536, 68718428161)
+	a := randPoly(65536, tbl.Mod.Q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Inverse(a)
+	}
+}
+
+func BenchmarkNTTInverseLazy65536(b *testing.B) {
+	tbl := MustTable(65536, 68718428161)
+	a := randPoly(65536, tbl.Mod.Q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.InverseLazy(a)
+	}
+}

@@ -56,11 +56,6 @@ func ModDownNTTInto(ringQ, ringP *Ring, ext *rns.Extender, pInv []uint64, acc, s
 
 	// out += (acc_Q − ext) · P^{-1}, fused per limb.
 	ringQ.Engine().Run(lq, func(i int) {
-		m := ringQ.Basis.Moduli[i]
-		inv := pInv[i]
-		ai, ei, oi := acc.Coeffs[i], scratch.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = m.Add(oi[j], m.BarrettMul(m.Sub(ai[j], ei[j]), inv))
-		}
+		ringQ.SubMulAddRow(i, pInv[i], acc.Coeffs[i], scratch.Coeffs[i], out.Coeffs[i])
 	})
 }

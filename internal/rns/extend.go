@@ -28,6 +28,7 @@ package rns
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"repro/internal/mod"
 )
@@ -149,4 +150,105 @@ func (e *Extender) ExtendRange(src, dst [][]uint64, lo, hi int) {
 			dst[t][j] = m.Sub(acc, e.corr[t][v])
 		}
 	}
+}
+
+// ReduceRange is the source half of ExtendRange, split out so fused
+// key-switch pipelines can compute the y_i rows and the overflow estimate
+// v once and then combine target limbs in parallel (each target task
+// reading y/v instead of redoing the source reduction per limb). For
+// coefficients [lo, hi): y[i][j] = [(src[i][j] + ⌊G/2⌋)·(G/g_i)^{-1}] mod
+// g_i, and v[j] the clamped ⌊Σ y_i/g_i⌋ estimate. The float accumulation
+// runs in the same i-ascending order as ExtendRange, so a ReduceRange +
+// CombineLimb pair reproduces ExtendRange's bytes exactly.
+func (e *Extender) ReduceRange(src, y [][]uint64, v []uint64, lo, hi int) {
+	if len(src) != len(e.src) || len(y) != len(e.src) {
+		panic("rns: extender row count mismatch")
+	}
+	alpha := len(e.src)
+	for j := lo; j < hi; j++ {
+		vf := 0.0
+		for i := 0; i < alpha; i++ {
+			m := e.src[i]
+			yi := m.BarrettMul(m.Add(src[i][j], e.halfSrc[i]), e.invHat[i])
+			y[i][j] = yi
+			vf += float64(yi) * e.gInv[i]
+		}
+		vj := int(vf) // ⌊·⌋: vf ≥ 0
+		if vj > alpha {
+			vj = alpha
+		}
+		v[j] = uint64(vj)
+	}
+}
+
+// CombineLimb is the target half: dst[j] = Σ_i y_i·(G/g_i) − v·G − ⌊G/2⌋
+// mod m_t over [lo, hi), from rows produced by ReduceRange. Pure
+// per-coefficient arithmetic over one output row — safe to run one task
+// per target limb, any coefficient partition.
+//
+// This is the hottest loop of the fused key-switch pipeline (every target
+// limb of every group runs it over the whole coefficient range), so it is
+// written as row-major passes with hoisted Barrett constants, and the
+// per-term reduction folds y_i's mod-m_t reduction into the product:
+// y_i·hat_i < g_i·m_t < 2^64·m_t is inside BarrettReduce128's domain, and
+// (y_i mod m_t)·hat_i ≡ y_i·hat_i (mod m_t) with both reductions landing
+// on the canonical representative — the same bytes ExtendRange computes,
+// without its per-term hardware division (TestReduceCombineMatchesExtend).
+func (e *Extender) CombineLimb(t int, y [][]uint64, v []uint64, dst []uint64, lo, hi int) {
+	if len(y) != len(e.src) {
+		panic("rns: extender row count mismatch")
+	}
+	m := e.dst[t]
+	hat := e.hatDst[t]
+	corr := e.corr[t]
+	q, bhi, blo := m.Q, m.BHi, m.BLo
+	d := dst[lo:hi]
+	// Row 0 seeds the accumulator in dst (pooled storage may be dirty).
+	y0 := y[0][lo:hi:hi]
+	h0 := hat[0]
+	for j := range d {
+		phi, plo := bits.Mul64(y0[j], h0)
+		d[j] = barrettReduce128(phi, plo, q, bhi, blo)
+	}
+	for i := 1; i < len(y); i++ {
+		yi := y[i][lo:hi:hi]
+		hi64 := hat[i]
+		for j := range d {
+			phi, plo := bits.Mul64(yi[j], hi64)
+			s := d[j] + barrettReduce128(phi, plo, q, bhi, blo)
+			if s >= q {
+				s -= q
+			}
+			d[j] = s
+		}
+	}
+	vv := v[lo:hi:hi]
+	for j := range d {
+		c := corr[vv[j]]
+		s := d[j]
+		if s < c {
+			s += q
+		}
+		d[j] = s - c
+	}
+}
+
+// barrettReduce128 is mod.Modulus.BarrettReduce128 with the constants
+// hoisted into locals so the inliner folds it into the combine loops:
+// (phi·2^64 + plo) mod q for values < q·2^64.
+func barrettReduce128(phi, plo, q, bhi, blo uint64) uint64 {
+	mhi, _ := bits.Mul64(plo, blo)
+	c1hi, c1lo := bits.Mul64(plo, bhi)
+	c2hi, c2lo := bits.Mul64(phi, blo)
+	mid, carry1 := bits.Add64(c1lo, c2lo, 0)
+	_, carry2 := bits.Add64(mid, mhi, 0)
+	qhat := phi*bhi + c1hi + c2hi + carry1 + carry2
+	r := plo - qhat*q
+	if r >= q {
+		r -= q
+	}
+	if r >= q {
+		r -= q
+	}
+	return r
 }

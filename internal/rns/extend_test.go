@@ -156,6 +156,60 @@ func TestExtenderChunkInvariance(t *testing.T) {
 	}
 }
 
+// TestReduceCombineMatchesExtend: the split kernels the fused key-switch
+// pipeline uses (ReduceRange for the source half, CombineLimb per target)
+// reproduce ExtendRange byte for byte — including the float64 overflow
+// estimate, whose accumulation order both paths share.
+func TestReduceCombineMatchesExtend(t *testing.T) {
+	all := testPrimes(5)
+	srcPrimes := all[:2]
+	dstPrimes := []uint64{all[2], all[3], all[0], all[4]} // includes a source prime
+	e := MustExtender(srcPrimes, dstPrimes)
+	const n = 300
+	src := make([][]uint64, len(srcPrimes))
+	for i, q := range srcPrimes {
+		src[i] = make([]uint64, n)
+		s := prng.NewSource(prng.SeedFromUint64s(6, uint64(i)), 17)
+		s.UniformPoly(src[i], q)
+	}
+	want := make([][]uint64, len(dstPrimes))
+	got := make([][]uint64, len(dstPrimes))
+	for t := range want {
+		want[t] = make([]uint64, n)
+		got[t] = make([]uint64, n)
+	}
+	e.ExtendRange(src, want, 0, n)
+
+	y := [][]uint64{make([]uint64, n), make([]uint64, n)}
+	v := make([]uint64, n)
+	// Chunked reduce + per-limb combine over sub-ranges: both partitions
+	// are execution details and must not show in the bytes.
+	for lo := 0; lo < n; lo += 41 {
+		hi := lo + 41
+		if hi > n {
+			hi = n
+		}
+		e.ReduceRange(src, y, v, lo, hi)
+	}
+	for ti := range got {
+		for lo := 0; lo < n; lo += 53 {
+			hi := lo + 53
+			if hi > n {
+				hi = n
+			}
+			e.CombineLimb(ti, y, v, got[ti], lo, hi)
+		}
+	}
+	for ti := range want {
+		for j := range want[ti] {
+			if want[ti][j] != got[ti][j] {
+				t.Fatalf("target %d coeff %d: split %d vs fused-path source %d",
+					ti, j, want[ti][j], got[ti][j])
+			}
+		}
+	}
+}
+
 func TestExtenderRejects(t *testing.T) {
 	if _, err := NewExtender(nil, []uint64{3}); err == nil {
 		t.Error("empty source accepted")
