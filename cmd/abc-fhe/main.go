@@ -17,9 +17,12 @@
 //
 // The eval subcommand bootstraps its server from the evaluation-key blob
 // alone (the parameter spec is embedded) and supports ops mul, rotate,
-// conjugate, innersum and dot — the encrypted-compute surface of the
-// Server role. Message files hold one complex value per line: "re" or
-// "re im".
+// conjugate, innersum, dot, c2s and s2c — the encrypted-compute surface
+// of the Server role. c2s (CoeffsToSlots) emits two ciphertexts (-out
+// the real coefficient half, -out2 the imaginary one); s2c inverts it,
+// taking the pair back via -a/-b. Both need an evaluation-key blob
+// exported with `evalkeys -dft-levels N`. Message files hold one complex
+// value per line: "re" or "re im".
 //
 // Demo usage:
 //
@@ -115,6 +118,8 @@ func runKeygen(args []string) error {
 	seedHi := fs.Uint64("seed-hi", 0, "high 64 bits of the key seed (default: crypto/rand)")
 	pkPath := fs.String("pk", "pk.key", "output path for the public-key blob")
 	skPath := fs.String("sk", "sk.key", "output path for the secret-key blob (keep private)")
+	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	backend := fs.String("backend", "", "execution backend: fast or portable (default: $ABCFHE_BACKEND or fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,10 +128,12 @@ func runKeygen(args []string) error {
 	if err != nil {
 		return err
 	}
-	owner, err := abcfhe.NewKeyOwner(abcfhe.Preset(*preset), lo, hi)
+	owner, err := abcfhe.NewKeyOwner(abcfhe.Preset(*preset), lo, hi,
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}
+	defer owner.Close()
 	pk, err := owner.ExportPublicKey()
 	if err != nil {
 		return err
@@ -153,7 +160,10 @@ func runEvalKeys(args []string) error {
 	maxLevel := fs.Int("max-level", 0, "depth cap for the keys (0 = full depth)")
 	rotations := fs.String("rotations", "", "comma-separated rotation steps, e.g. 1,2,4 (innersum over n slots needs 1..n/2 powers of two)")
 	conj := fs.Bool("conjugate", false, "also generate the complex-conjugation key")
+	dftLevels := fs.Int("dft-levels", 0, "also export the rotation set (and conjugation key) for `eval -op c2s|s2c` with this many butterfly groups per direction (0 = none)")
 	gadgetName := fs.String("gadget", "auto", "key-switching gadget: auto (hybrid where supported), hybrid, or bv")
+	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	backend := fs.String("backend", "", "execution backend: fast or portable (default: $ABCFHE_BACKEND or fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,7 +172,8 @@ func runEvalKeys(args []string) error {
 	if err != nil {
 		return err
 	}
-	owner, err := abcfhe.NewKeyOwnerFromSecretKey(skBytes)
+	owner, err := abcfhe.NewKeyOwnerFromSecretKey(skBytes,
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}
@@ -170,17 +181,35 @@ func runEvalKeys(args []string) error {
 
 	var steps []int
 	kept := map[int]bool{} // normalized steps actually exported (0 dropped, dups merged)
+	addSteps := func(ks []int) {
+		for _, k := range ks {
+			steps = append(steps, k)
+			if n := ((k % owner.Slots()) + owner.Slots()) % owner.Slots(); n != 0 {
+				kept[n] = true
+			}
+		}
+	}
 	if *rotations != "" {
 		for _, f := range strings.Split(*rotations, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
 				return fmt.Errorf("evalkeys: -rotations: %v", err)
 			}
-			steps = append(steps, k)
-			if n := ((k % owner.Slots()) + owner.Slots()) % owner.Slots(); n != 0 {
-				kept[n] = true
-			}
+			addSteps([]int{k})
 		}
+	}
+	if *dftLevels != 0 {
+		logn := 0
+		for 1<<(logn+1) <= owner.Slots() {
+			logn++
+		}
+		if *dftLevels < 0 || *dftLevels > logn {
+			return fmt.Errorf("evalkeys: -dft-levels %d not in [1, %d]", *dftLevels, logn)
+		}
+		// The key owner derives the ladder from the stage geometry alone;
+		// CoeffsToSlots' real/imaginary split also needs the conjugation key.
+		addSteps(abcfhe.HomomorphicDFTRotations(owner.Slots(), *dftLevels))
+		*conj = true
 	}
 	var gadget abcfhe.GadgetType
 	switch *gadgetName {
@@ -220,12 +249,14 @@ func runEvalKeys(args []string) error {
 func runEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	evkPath := fs.String("evk", "evk.bin", "evaluation-key blob from `abc-fhe evalkeys`")
-	op := fs.String("op", "", "operation: mul, rotate, conjugate, innersum, dot")
+	op := fs.String("op", "", "operation: mul, rotate, conjugate, innersum, dot, c2s, s2c")
 	aPath := fs.String("a", "", "first ciphertext file")
-	bPath := fs.String("b", "", "second ciphertext file (mul)")
+	bPath := fs.String("b", "", "second ciphertext file (mul; the imaginary half for s2c)")
 	by := fs.Int("by", 0, "rotation step (rotate)")
 	span := fs.Int("span", 0, "inner-sum span, a power of two (innersum)")
 	weights := fs.String("weights", "", "plaintext weight file, one value per line (dot)")
+	dftLevels := fs.Int("dft-levels", 1, "butterfly groups per direction (c2s, s2c) — match `evalkeys -dft-levels`")
+	out2Path := fs.String("out2", "ct.out2.bin", "second output ciphertext file (c2s imaginary half)")
 	dropLevel := fs.Int("drop-level", 0, "DropLevel the inputs first (0 = keep; use the evalkeys depth)")
 	rescale := fs.Int("rescale", 0, "Rescale the result n times (a mul consumes 1, or 2 on double-scale presets)")
 	outPath := fs.String("out", "ct.out.bin", "output ciphertext file")
@@ -305,8 +336,56 @@ func runEval(args []string) error {
 		if out, err = server.DotPlain(a, w, evk); err != nil {
 			return err
 		}
+	case "c2s":
+		// CoeffsToSlots consumes the input at its current level (use
+		// -drop-level to start shallower) and emits the two real-valued
+		// coefficient halves as separate ciphertexts.
+		dft, err := server.NewHomomorphicDFT(abcfhe.HomomorphicDFTConfig{
+			StartLevel: a.Level, Levels: *dftLevels})
+		if err != nil {
+			return err
+		}
+		re, im, err := server.CoeffsToSlots(a, dft, evk)
+		if err != nil {
+			return err
+		}
+		imData, err := server.SerializeCiphertext(im)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out2Path, imData, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("eval c2s: level-%d imaginary half, %d bytes -> %s\n", im.Level, len(imData), *out2Path)
+		out = re
+	case "s2c":
+		if *bPath == "" {
+			return fmt.Errorf("eval: -op s2c needs -b (the imaginary half from c2s)")
+		}
+		b, err := loadCt(*bPath)
+		if err != nil {
+			return err
+		}
+		// Recover the schedule from the inputs: the pair sits at the DFT's
+		// mid level, so scan start levels for the one whose midpoint lands
+		// there (StartLevel − Levels·rescales, preset-dependent).
+		var dft *abcfhe.HomomorphicDFT
+		for start := a.Level + 1; start <= server.MaxLevel(); start++ {
+			d, err := server.NewHomomorphicDFT(abcfhe.HomomorphicDFTConfig{
+				StartLevel: start, Levels: *dftLevels})
+			if err == nil && d.MidLevel() == a.Level {
+				dft = d
+				break
+			}
+		}
+		if dft == nil {
+			return fmt.Errorf("eval: no %d-level DFT has its midpoint at level %d (wrong -dft-levels, or inputs too shallow)", *dftLevels, a.Level)
+		}
+		if out, err = server.SlotsToCoeffs(a, b, dft, evk); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("eval: unknown -op %q (mul, rotate, conjugate, innersum, dot)", *op)
+		return fmt.Errorf("eval: unknown -op %q (mul, rotate, conjugate, innersum, dot, c2s, s2c)", *op)
 	}
 	for i := 0; i < *rescale; i++ {
 		if out, err = server.Rescale(out); err != nil {
@@ -388,6 +467,8 @@ func runDecrypt(args []string) error {
 	n := fs.Int("n", 0, "slots to emit (0 = all)")
 	expect := fs.String("expect", "", "message file to verify the decryption against")
 	tol := fs.Float64("tol", 1e-4, "max |error| allowed with -expect")
+	workers := fs.Int("workers", 0, "software PNL lanes (0 = GOMAXPROCS, 1 = serial)")
+	backend := fs.String("backend", "", "execution backend: fast or portable (default: $ABCFHE_BACKEND or fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -396,7 +477,8 @@ func runDecrypt(args []string) error {
 	if err != nil {
 		return err
 	}
-	owner, err := abcfhe.NewKeyOwnerFromSecretKey(skBytes)
+	owner, err := abcfhe.NewKeyOwnerFromSecretKey(skBytes,
+		abcfhe.WithWorkers(*workers), abcfhe.WithBackend(*backend))
 	if err != nil {
 		return err
 	}

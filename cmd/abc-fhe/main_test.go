@@ -125,6 +125,52 @@ func TestCLIEvalFlow(t *testing.T) {
 	}
 }
 
+// TestCLIHomomorphicDFTFlow drives the CoeffsToSlots → SlotsToCoeffs
+// round trip across the file boundary: the evalkeys blob carries the
+// DFT's rotation ladder (-dft-levels), eval c2s fans one ciphertext into
+// the two coefficient-half ciphertexts, eval s2c folds them back, and a
+// self-verifying decrypt confirms the message survived.
+func TestCLIHomomorphicDFTFlow(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+
+	if err := os.WriteFile(p("msg.txt"), []byte("0.5\n-0.25 0.125\n0.0625 -0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runKeygen([]string{"-preset", "Test", "-pk", p("pk.key"), "-sk", p("sk.key")}); err != nil {
+		t.Fatal("keygen:", err)
+	}
+	if err := runEvalKeys([]string{"-sk", p("sk.key"), "-out", p("evk.bin"), "-dft-levels", "1"}); err != nil {
+		t.Fatal("evalkeys:", err)
+	}
+	if err := runEncrypt([]string{"-pk", p("pk.key"), "-in", p("msg.txt"), "-out", p("ct.bin")}); err != nil {
+		t.Fatal("encrypt:", err)
+	}
+	if err := runEval([]string{"-evk", p("evk.bin"), "-op", "c2s", "-dft-levels", "1",
+		"-a", p("ct.bin"), "-out", p("re.bin"), "-out2", p("im.bin")}); err != nil {
+		t.Fatal("eval c2s:", err)
+	}
+	if err := runEval([]string{"-evk", p("evk.bin"), "-op", "s2c", "-dft-levels", "1",
+		"-a", p("re.bin"), "-b", p("im.bin"), "-out", p("back.bin")}); err != nil {
+		t.Fatal("eval s2c:", err)
+	}
+	// tol 0.05: the Test preset's Δ = 2^30 leaves the DFT round trip near
+	// its structural noise floor (same budget the library-level test uses).
+	if err := runDecrypt([]string{"-sk", p("sk.key"), "-in", p("back.bin"),
+		"-expect", p("msg.txt"), "-tol", "0.05"}); err != nil {
+		t.Fatal("decrypt round trip:", err)
+	}
+
+	// The c2s leg without the DFT ladder in the blob errors cleanly.
+	if err := runEvalKeys([]string{"-sk", p("sk.key"), "-out", p("bare.bin"), "-rotations", "1"}); err != nil {
+		t.Fatal("evalkeys bare:", err)
+	}
+	if err := runEval([]string{"-evk", p("bare.bin"), "-op", "c2s",
+		"-a", p("ct.bin"), "-out", p("re2.bin"), "-out2", p("im2.bin")}); err == nil {
+		t.Fatal("c2s without the DFT rotation keys must fail")
+	}
+}
+
 // TestCLIKeygenDefaultSeedsAreFresh: without explicit -seed flags every
 // keygen must draw a fresh crypto/rand seed — two default runs may never
 // emit the same key material (a fixed default would hand every user the

@@ -66,10 +66,21 @@ func wireErr(err error) error {
 	return fmt.Errorf("%w: %w", ErrMalformedWire, err)
 }
 
-// validateMessage bounds-checks an encode input.
+// validateMessage bounds-checks an encode input: length against the slot
+// count, and every component finite. A NaN or Inf would not error inside
+// the encoder — math.Frexp flushes them into garbage residues that decrypt
+// to pseudo-random slots — so the rejection MulConst applies to scalar
+// constants holds at every vector encode entry point too (EncodeEncrypt,
+// the compressed uploads, DotPlain weights, linear-transform diagonals).
 func validateMessage(p *ckks.Parameters, msg []complex128) error {
 	if len(msg) > p.Slots() {
 		return fmt.Errorf("%w: %d values, %d slots", ErrMessageTooLong, len(msg), p.Slots())
+	}
+	for i, z := range msg {
+		re, im := real(z), imag(z)
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return fmt.Errorf("%w: non-finite component %v at slot %d", ErrInvalidConstant, z, i)
+		}
 	}
 	return nil
 }
@@ -147,12 +158,16 @@ func deserializeCoeffCiphertext(p *ckks.Parameters, data []byte) (*Ciphertext, e
 	return ct, nil
 }
 
-// validateSameLevelScale checks binary-operation compatibility.
+// validateSameLevelScale checks binary-operation compatibility. The scale
+// tolerance is relative to the larger operand so the check is symmetric:
+// Add(a, b) and Add(b, a) must agree on whether the pair is compatible
+// (an a-relative bound would accept one order and reject the other when
+// one scale dwarfs the one the tolerance happened to be anchored to).
 func validateSameLevelScale(a, b *Ciphertext) error {
 	if a.Level != b.Level {
 		return fmt.Errorf("%w: %d vs %d", ErrLevelMismatch, a.Level, b.Level)
 	}
-	if math.Abs(a.Scale-b.Scale) > a.Scale*1e-12 {
+	if math.Abs(a.Scale-b.Scale) > math.Max(a.Scale, b.Scale)*1e-12 {
 		return fmt.Errorf("%w: %g vs %g", ErrScaleMismatch, a.Scale, b.Scale)
 	}
 	return nil

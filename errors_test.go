@@ -8,6 +8,7 @@ package abcfhe
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -214,6 +215,99 @@ func TestServerOperandErrors(t *testing.T) {
 	}
 	if _, err := server.MulConst(ct, -2.5); err != nil {
 		t.Errorf("MulConst(-2.5) must be accepted: %v", err)
+	}
+}
+
+// TestNonFiniteMessageErrors: NaN/Inf components must be rejected with
+// ErrInvalidConstant at every public encode entry point — the same
+// contract MulConst always enforced for its scalar. A non-finite float
+// feeds math.Frexp garbage during scaling and would silently corrupt
+// every slot of the residue polynomial, so it must stop at the door.
+func TestNonFiniteMessageErrors(t *testing.T) {
+	owner, device, server, evk := evalParties(t, Test)
+	slots := device.Slots()
+
+	poison := []complex128{
+		complex(math.NaN(), 0),
+		complex(0, math.NaN()),
+		complex(math.Inf(1), 0),
+		complex(0, math.Inf(-1)),
+	}
+	for _, z := range poison {
+		msg := testMsgs(slots, 1)[0]
+		msg[slots/2] = z
+		if _, err := device.EncodeEncrypt(msg); !errors.Is(err, ErrInvalidConstant) {
+			t.Errorf("EncodeEncrypt(%v): %v", z, err)
+		}
+		if _, err := device.Encode(msg); !errors.Is(err, ErrInvalidConstant) {
+			t.Errorf("Encode(%v): %v", z, err)
+		}
+		if _, err := device.EncodeEncryptBatch([][]complex128{testMsgs(slots, 1)[0], msg}); !errors.Is(err, ErrInvalidConstant) {
+			t.Errorf("EncodeEncryptBatch(%v): %v", z, err)
+		}
+		if _, err := owner.EncodeEncryptCompressed(msg); !errors.Is(err, ErrInvalidConstant) {
+			t.Errorf("EncodeEncryptCompressed(%v): %v", z, err)
+		}
+	}
+
+	// Server-side plaintext operands share the same gate.
+	ct, err := device.EncodeEncrypt(testMsgs(slots, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := []complex128{1, complex(0, math.Inf(1)), 3}
+	if _, err := server.DotPlain(ct, weights, evk); !errors.Is(err, ErrInvalidConstant) {
+		t.Errorf("DotPlain(Inf weight): %v", err)
+	}
+	// Finite messages still sail through.
+	if _, err := device.EncodeEncrypt(testMsgs(slots, 1)[0]); err != nil {
+		t.Errorf("finite message rejected: %v", err)
+	}
+}
+
+// TestScaleToleranceSymmetric: the near-equality test on operand scales
+// must not depend on argument order — the old check measured the
+// difference against a.Scale only, so (a, b) and (b, a) could disagree
+// at the tolerance boundary.
+func TestScaleToleranceSymmetric(t *testing.T) {
+	_, device, server := threeParties(t, Test, 21, 22)
+	msg := testMsgs(device.Slots(), 1)[0]
+	ct, err := device.EncodeEncrypt(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	within := *ct
+	within.Scale = ct.Scale * (1 + 1e-13) // inside the 1e-12 relative budget
+	if _, err := server.Add(ct, &within); err != nil {
+		t.Errorf("Add(base, nudged): %v", err)
+	}
+	if _, err := server.Add(&within, ct); err != nil {
+		t.Errorf("Add(nudged, base): %v", err)
+	}
+
+	beyond := *ct
+	beyond.Scale = ct.Scale * (1 + 1e-6)
+	if _, err := server.Add(ct, &beyond); !errors.Is(err, ErrScaleMismatch) {
+		t.Errorf("Add(base, off): %v", err)
+	}
+	if _, err := server.Add(&beyond, ct); !errors.Is(err, ErrScaleMismatch) {
+		t.Errorf("Add(off, base): %v", err)
+	}
+}
+
+// TestBackendErrorDetail: an unknown backend name must surface
+// ErrUnknownBackend *and* keep ParseBackend's detail — the list of valid
+// names is the one thing the caller needs to fix the call.
+func TestBackendErrorDetail(t *testing.T) {
+	_, err := NewServer(Test, WithBackend("bogus"))
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("sentinel lost: %v", err)
+	}
+	for _, want := range []string{"bogus", "portable", "fast"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lost the detail %q", err, want)
+		}
 	}
 }
 

@@ -1,6 +1,6 @@
 // Benchmark-regression gate (the `abcbench -check` mode CI runs): execute
 // the key-switch and client-pipeline benchmarks under both execution
-// backends, append a machine-readable report to BENCH_6.json, and fail
+// backends, append a machine-readable report to BENCH_7.json, and fail
 // when an allocation count or evaluation-key blob size regresses past the
 // budgets committed in bench_budget.json.
 //
@@ -27,7 +27,7 @@ import (
 	"repro/internal/prng"
 )
 
-// BenchRecord is one row of a BENCH_6.json report.
+// BenchRecord is one row of a BENCH_7.json report.
 type BenchRecord struct {
 	Op          string  `json:"op"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
@@ -36,7 +36,7 @@ type BenchRecord struct {
 	BlobBytes   int64   `json:"evk_blob_bytes,omitempty"`
 }
 
-// BenchReport is one gate run. BENCH_6.json holds an array of these —
+// BenchReport is one gate run. BENCH_7.json holds an array of these —
 // RunBenchCheck appends rather than overwrites, so a committed baseline
 // survives CI re-runs and speedups stay comparable across PRs.
 type BenchReport struct {
@@ -243,6 +243,50 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 		}
 	})))
 
+	// --- BSGS linear transform vs naive per-diagonal rotation (Test
+	// preset, fast backend): the structural claim the blocked baby-step/
+	// giant-step schedule exists for. A 12-diagonal band at n1=8 pays one
+	// shared hoisted decomposition for all seven baby steps plus one giant
+	// key switch, where the naive schedule pays eleven independent
+	// rotations. The naive baseline is charged only its rotations — none
+	// of the diagonal multiplies — so the comparison is conservative.
+	const ltDiags = 12
+	diagsLT := map[int][]complex128{}
+	for d := 0; d < ltDiags; d++ {
+		v := make([]complex128, pTest.Slots())
+		for r := range v {
+			v[r] = complex(float64((r+3*d)%7)/7-0.5, float64((r+d)%5)/5-0.5)
+		}
+		diagsLT[d] = v
+	}
+	ltLevel := 2 * pTest.RescalesPerLevel() // the transform's minimum legal level
+	lt := encT.NewLinearTransform(diagsLT, ltLevel, 8)
+	naiveSteps := make([]int, 0, ltDiags-1)
+	for d := 1; d < ltDiags; d++ {
+		naiveSteps = append(naiveSteps, d)
+	}
+	ksLT := kgT.GenEvaluationKeySet(skT, ltLevel,
+		append(append([]int{}, lt.Rotations()...), naiveSteps...), false, ckks.GadgetHybrid)
+	ctLT := evT.DropLevel(encryptorT.Encrypt(encT.Encode(msgT)), ltLevel)
+	evT.LinearTransform(ctLT, lt, ksLT.Rot)
+	bsgsBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evT.LinearTransform(ctLT, lt, ksLT.Rot)
+		}
+	})
+	add(record("LinearTransformBSGS", bsgsBench))
+	for _, d := range naiveSteps {
+		evT.RotateGalois(ctLT, ksLT.Rot[d])
+	}
+	naiveBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range naiveSteps {
+				evT.RotateGalois(ctLT, ksLT.Rot[d])
+			}
+		}
+	})
+	add(record("LinearTransformNaive", naiveBench))
+
 	// --- The headline: MulRelin at max level on PN15 — hybrid under both
 	// backends (staged portable vs fused fast), then BV as the baseline ---
 	p15 := ckks.PN15.MustBuild()
@@ -277,6 +321,23 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	})
 	add(record("RotateHybridFusedPN15", rot15Fused))
 	rot15 = nil
+	runtime.GC()
+
+	// --- CoeffsToSlots at paper scale: the factored homomorphic DFT over
+	// the hoisted BSGS path (PN15, StartLevel 10, two butterfly groups per
+	// direction — the same schedule the round-trip precision test pins).
+	fmt.Fprintln(w, "generating PN15 DFT rotation ladder (hybrid, depth 10)…")
+	dft15 := enc15.NewHomomorphicDFT(ckks.HomomorphicDFTConfig{StartLevel: 10, Levels: 2})
+	ks15 := kg15.GenEvaluationKeySet(sk15, 10, dft15.Rotations(), true, ckks.GadgetHybrid)
+	ct10 := ev15.DropLevel(ct15, 10)
+	ev15.CoeffsToSlots(ct10, dft15, ks15.Rot, ks15.Conj)
+	c2sBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.CoeffsToSlots(ct10, dft15, ks15.Rot, ks15.Conj)
+		}
+	})
+	add(record("CoeffsToSlotsPN15", c2sBench))
+	ks15 = nil
 	runtime.GC()
 
 	fmt.Fprintln(w, "generating PN15 hybrid relinearization key (max depth)…")
@@ -350,6 +411,11 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	if hyBlob >= bvBlob {
 		failures = append(failures, fmt.Sprintf(
 			"hybrid evk blob (%d B) not smaller than BV (%d B) for the same depth/rotations", hyBlob, bvBlob))
+	}
+	if bsgsBench.NsPerOp() >= naiveBench.NsPerOp() {
+		failures = append(failures, fmt.Sprintf(
+			"BSGS linear transform (%d ns/op) does not beat naive per-diagonal rotations (%d ns/op)",
+			bsgsBench.NsPerOp(), naiveBench.NsPerOp()))
 	}
 
 	// --- Budget gates ---

@@ -65,7 +65,7 @@ func NewEncoder(params *Parameters) *Encoder {
 // v·2^logScale = ±M·2^e with e = exp-53+logScale, and the residue is
 // (M mod q)·(2^e mod q) — all in word arithmetic, no big integers
 // (this is what the MSE's Expand-RNS stage computes in hardware).
-func (enc *Encoder) encodeCoeff(v float64, j int, limbs [][]uint64) {
+func (enc *Encoder) encodeCoeff(v float64, j, logScale int, limbs [][]uint64) {
 	r := enc.params.Ring()
 	if v == 0 {
 		for i := range limbs {
@@ -80,7 +80,7 @@ func (enc *Encoder) encodeCoeff(v float64, j int, limbs [][]uint64) {
 	}
 	fr, exp := math.Frexp(v) // v = fr·2^exp, fr ∈ [0.5, 1)
 	m := uint64(fr * (1 << 53))
-	e := exp - 53 + enc.params.LogScale
+	e := exp - 53 + logScale
 	if e < 0 {
 		// Shift mantissa right with round-to-nearest.
 		sh := uint(-e)
@@ -107,12 +107,24 @@ func (enc *Encoder) encodeCoeff(v float64, j int, limbs [][]uint64) {
 // EncodeAtLevel encodes up to Slots() complex values into a plaintext at
 // the given level (limb count). Shorter messages are zero-padded.
 func (enc *Encoder) EncodeAtLevel(msg []complex128, level int) *Plaintext {
+	return enc.EncodeAtLevelScale(msg, level, enc.params.LogScale)
+}
+
+// EncodeAtLevelScale is EncodeAtLevel at an explicit scale Δ = 2^logScale
+// instead of the parameter set's. Plaintext operands of homomorphic linear
+// transforms use it: a transform's diagonals are encoded at exactly the
+// scale its built-in rescales will consume, so the output scale returns to
+// the input's regardless of the parameter set's Δ.
+func (enc *Encoder) EncodeAtLevelScale(msg []complex128, level, logScale int) *Plaintext {
 	p := enc.params
 	if len(msg) > p.Slots() {
 		panic("ckks: message longer than slot count")
 	}
 	if level < 1 || level > p.MaxLevel() {
 		panic("ckks: level out of range")
+	}
+	if logScale < 1 || logScale >= maxPow2-60 {
+		panic("ckks: encode scale out of range")
 	}
 	e := p.Embedder()
 	vals := make([]fftfpComplex, p.Slots())
@@ -128,10 +140,14 @@ func (enc *Encoder) EncodeAtLevel(msg []complex128, level int) *Plaintext {
 	pt := rl.GetPolyUninit() // every limb of every coefficient is written below
 	rl.Engine().RunChunks(len(coeffs), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			enc.encodeCoeff(coeffs[j], j, pt.Coeffs)
+			enc.encodeCoeff(coeffs[j], j, logScale, pt.Coeffs)
 		}
 	})
-	return &Plaintext{Value: pt, Level: level, Scale: p.Scale()}
+	scale := 1.0
+	for i := 0; i < logScale; i++ {
+		scale *= 2
+	}
+	return &Plaintext{Value: pt, Level: level, Scale: scale}
 }
 
 // Encode encodes at full depth (the client's encrypt-side configuration).

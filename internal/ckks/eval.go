@@ -30,7 +30,8 @@ func sameLevelScale(a, b *Ciphertext) {
 	if a.Level != b.Level {
 		panic("ckks: ciphertext level mismatch")
 	}
-	if math.Abs(a.Scale-b.Scale) > a.Scale*1e-12 {
+	// Relative to the larger scale so the check is order-symmetric.
+	if math.Abs(a.Scale-b.Scale) > math.Max(a.Scale, b.Scale)*1e-12 {
 		panic("ckks: ciphertext scale mismatch")
 	}
 }
@@ -66,7 +67,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	if ct.Level != pt.Level {
 		panic("ckks: level mismatch")
 	}
-	if math.Abs(ct.Scale-pt.Scale) > ct.Scale*1e-12 {
+	if math.Abs(ct.Scale-pt.Scale) > math.Max(ct.Scale, pt.Scale)*1e-12 {
 		panic("ckks: scale mismatch")
 	}
 	rl := ev.ringAt(ct.Level)

@@ -1,0 +1,144 @@
+package fftfp
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// applyGroups chains grouped diagonal matrices in application order.
+func applyGroups(groups []*DiagMatrix, v []complex128) []complex128 {
+	out := append([]complex128(nil), v...)
+	for _, g := range groups {
+		out = g.Apply(out)
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		re := real(a[i]) - real(b[i])
+		im := imag(a[i]) - imag(b[i])
+		d := re*re + im*im
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestDFTMatricesAgainstFFT: the grouped inverse (CoeffsToSlots-direction)
+// product must reproduce IFFT up to the withheld bit-reversal, the grouped
+// forward product must invert it, and the full round trip must restore the
+// input — at every grouping granularity.
+func TestDFTMatricesAgainstFFT(t *testing.T) {
+	for _, logN := range []int{4, 6, 8} {
+		e := NewEmbedder(logN)
+		n := e.Slots
+		logn := bits.Len(uint(n)) - 1
+		rng := rand.New(rand.NewSource(int64(logN)))
+		z := make([]complex128, n)
+		for i := range z {
+			z[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+
+		// Reference: t = IFFT(z) in full precision.
+		vals := make([]Complex, n)
+		for i, v := range z {
+			vals[i] = Complex{real(v), imag(v)}
+		}
+		e.IFFT(vals, NewCtx(Float64Mantissa))
+		want := make([]complex128, n)
+		for r := range want {
+			br := int(bits.Reverse64(uint64(r)) >> (64 - uint(logn)))
+			want[r] = complex(vals[br].Re, vals[br].Im) // t[bitrev(r)]
+		}
+
+		for levels := 1; levels <= logn; levels++ {
+			inv := e.DFTMatrices(levels, true)
+			fwd := e.DFTMatrices(levels, false)
+			if len(inv) != levels || len(fwd) != levels {
+				t.Fatalf("logN=%d levels=%d: got %d/%d groups", logN, levels, len(inv), len(fwd))
+			}
+
+			u := applyGroups(inv, z)
+			if d := maxAbsDiff(u, want); d > 1e-18 {
+				t.Errorf("logN=%d levels=%d: inverse product vs IFFT: max sq diff %g", logN, levels, d)
+			}
+			back := applyGroups(fwd, u)
+			if d := maxAbsDiff(back, z); d > 1e-18 {
+				t.Errorf("logN=%d levels=%d: round trip: max sq diff %g", logN, levels, d)
+			}
+
+			// Sparsity: a k-stage group carries at most 2^(k+1)−1 diagonals,
+			// and the analytic index sets must match the materialized support.
+			wantIdx := DFTDiagIndices(logn, levels, true)
+			for g, m := range inv {
+				k := logn / levels
+				if g < logn%levels {
+					k++
+				}
+				if len(m.Diags) > 1<<uint(k+1)-1 {
+					t.Errorf("logN=%d levels=%d group %d: %d diagonals, cap %d",
+						logN, levels, g, len(m.Diags), 1<<uint(k+1)-1)
+				}
+				got := m.DiagIndices()
+				if len(got) != len(wantIdx[g]) {
+					t.Fatalf("logN=%d levels=%d group %d: support %v, analytic %v",
+						logN, levels, g, got, wantIdx[g])
+				}
+				for i := range got {
+					if got[i] != wantIdx[g][i] {
+						t.Fatalf("logN=%d levels=%d group %d: support %v, analytic %v",
+							logN, levels, g, got, wantIdx[g])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiagMatrixMulAgainstDense pins MulDiag against the dense definition
+// on small random sparse matrices.
+func TestDiagMatrixMulAgainstDense(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(42))
+	randDiag := func() *DiagMatrix {
+		m := &DiagMatrix{N: n, Diags: map[int][]complex128{}}
+		for _, d := range []int{0, rng.Intn(n), rng.Intn(n)} {
+			diag := m.diag(d)
+			for r := range diag {
+				diag[r] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			}
+		}
+		return m
+	}
+	dense := func(m *DiagMatrix) [][]complex128 {
+		out := make([][]complex128, n)
+		for r := range out {
+			out[r] = make([]complex128, n)
+			for d, diag := range m.Diags {
+				out[r][(r+d)%n] += diag[r]
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b := randDiag(), randDiag()
+		c := MulDiag(a, b)
+		da, db, dc := dense(a), dense(b), dense(c)
+		for r := 0; r < n; r++ {
+			for col := 0; col < n; col++ {
+				var want complex128
+				for k := 0; k < n; k++ {
+					want += da[r][k] * db[k][col]
+				}
+				got := dc[r][col]
+				if d := want - got; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+					t.Fatalf("trial %d: product[%d][%d] = %v, want %v", trial, r, col, got, want)
+				}
+			}
+		}
+	}
+}

@@ -66,6 +66,40 @@ func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
 	r.MulPermAdd(a, nil, b, out)
 }
 
+// MulMonomial sets out = X^k · p for a coefficient-domain p — the
+// negacyclic shift: coefficient j lands at (j+k) mod 2N, negated when the
+// index wraps past N (X^N = −1). k must be in [0, 2N). A monomial multiply
+// is O(N·L) coefficient movement with no NTT — the cheap way to realize
+// slot-wise multiplication by a root of unity (X^{N/2} has every slot
+// equal to i, which is how the homomorphic DFT's conjugate split combines
+// real and imaginary parts). Every output index is written exactly once,
+// so a pooled uninitialized target is safe. out must not alias p.
+func (r *Ring) MulMonomial(p *Poly, k int, out *Poly) {
+	if p.IsNTT {
+		panic("ring: MulMonomial expects coefficient domain")
+	}
+	if k < 0 || k >= 2*r.N {
+		panic("ring: monomial degree must be in [0, 2N)")
+	}
+	n := r.N
+	r.Engine().Run(len(p.Coeffs), func(i int) {
+		m := r.Basis.Moduli[i]
+		pi, oi := p.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < n; j++ {
+			idx := j + k
+			v := pi[j]
+			if idx >= 2*n {
+				idx -= 2 * n
+			} else if idx >= n {
+				idx -= n
+				v = m.Neg(v)
+			}
+			oi[idx] = v
+		}
+	})
+	out.IsNTT = false
+}
+
 // AutomorphismCoeff sets out = σ_g(p) for a coefficient-domain p:
 // coefficient j lands at g·j mod 2N, negated when the index wraps past N
 // (X^N = −1). Every output index is written exactly once (g odd ⇒ the map

@@ -100,3 +100,45 @@ func TestMulPermAdd(t *testing.T) {
 	mustPanic(t, func() { r.AutomorphismCoeff(a, g, acc) }) // a is NTT
 	mustPanic(t, func() { r.AutomorphismCoeff(c, 4, acc) }) // even g
 }
+
+// TestMulMonomial pins the negacyclic shift against the independent path:
+// NTT-domain multiplication by the monomial polynomial X^k.
+func TestMulMonomial(t *testing.T) {
+	r := testRing(t)
+	n := r.N
+	for _, k := range []int{0, 1, n / 2, n - 1, n, n + 3, 2*n - 1} {
+		p := r.NewPoly()
+		r.UniformPoly(src(uint64(100+k)), p)
+
+		got := r.NewPoly()
+		r.MulMonomial(p, k, got)
+
+		// Reference: encode X^k (reduced by X^N = −1) and multiply in the
+		// evaluation domain.
+		mono := r.NewPoly()
+		for i := range mono.Coeffs {
+			m := r.Basis.Moduli[i]
+			if k < n {
+				mono.Coeffs[i][k] = 1 % m.Q
+			} else {
+				mono.Coeffs[i][k-n] = m.Neg(1 % m.Q)
+			}
+		}
+		pn, mn := r.CopyPoly(p), r.CopyPoly(mono)
+		r.NTT(pn)
+		r.NTT(mn)
+		want := r.NewPoly()
+		r.MulCoeffs(pn, mn, want)
+		r.INTT(want)
+
+		if !r.Equal(want, got) {
+			t.Fatalf("k=%d: MulMonomial disagrees with NTT-domain monomial multiply", k)
+		}
+	}
+	mustPanic(t, func() {
+		p := r.NewPoly()
+		p.IsNTT = true
+		r.MulMonomial(p, 1, r.NewPoly())
+	})
+	mustPanic(t, func() { r.MulMonomial(r.NewPoly(), 2*n, r.NewPoly()) })
+}

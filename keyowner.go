@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/ckks"
@@ -181,6 +182,49 @@ func (o *KeyOwner) ExportEvaluationKeys(cfg EvalKeyConfig) ([]byte, error) {
 	ks := ckks.NewKeyGenerator(o.params, o.seed).
 		GenEvaluationKeySet(o.secret, maxLevel, cfg.Rotations, cfg.Conjugate, gadget)
 	return o.params.MarshalEvaluationKeySet(ks)
+}
+
+// LinearTransformRotations returns the rotation steps (ascending, never
+// 0) a BSGS linear transform over the given nonzero diagonal indices
+// consumes, for a parameter set with `slots` message slots (Slots() on
+// any party). n1 ≤ 0 selects the same cost-optimal block size
+// Server.NewLinearTransform selects, so a key owner can derive the exact
+// ladder to export from the matrix's sparsity pattern alone — without
+// the matrix entries, the server's parameters, or any key material:
+//
+//	cfg.Rotations = append(cfg.Rotations, LinearTransformRotations(slots, idx, 0)...)
+func LinearTransformRotations(slots int, diags []int, n1 int) []int {
+	if n1 <= 0 {
+		n1 = ckks.OptimalN1(slots, diags)
+	}
+	babies, giants := ckks.BSGSSteps(slots, diags, n1)
+	set := map[int]bool{}
+	for _, s := range babies {
+		set[s] = true
+	}
+	for _, s := range giants {
+		set[s] = true
+	}
+	delete(set, 0)
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HomomorphicDFTRotations returns the rotation steps a homomorphic DFT
+// pipeline (Server.NewHomomorphicDFT with the same `levels`) consumes,
+// derived from the stage geometry alone. Export these plus
+// Conjugate: true (CoeffsToSlots' real/imaginary split conjugates):
+//
+//	blob, err := owner.ExportEvaluationKeys(EvalKeyConfig{
+//	    Rotations: HomomorphicDFTRotations(owner.Slots(), levels),
+//	    Conjugate: true,
+//	})
+func HomomorphicDFTRotations(slots, levels int) []int {
+	return ckks.HomomorphicDFTRotations(slots, levels)
 }
 
 // DecryptDecode runs the inbound pipeline: decryption at the ciphertext's

@@ -194,7 +194,9 @@ func buildParamsFromSpec(spec ckks.ParamSpec, opts []Option) (*ckks.Parameters, 
 		b, err := lanes.ParseBackend(cfg.backend)
 		if err != nil {
 			params.Close()
-			return nil, fmt.Errorf("%w: %q", ErrUnknownBackend, cfg.backend)
+			// Wrap, don't replace: ParseBackend's message lists the valid
+			// names — the one piece of detail the caller actually needs.
+			return nil, fmt.Errorf("%w: %q: %w", ErrUnknownBackend, cfg.backend, err)
 		}
 		params.SetBackend(b)
 	}

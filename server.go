@@ -394,6 +394,238 @@ func (s *Server) DotPlain(ct *Ciphertext, weights []complex128, evk *EvaluationK
 // to EvalKeyConfig.Rotations when exporting keys.
 func InnerSumRotations(span int) []int { return ckks.InnerSumRotations(span) }
 
+// ---------------------------------------------------------------------
+// Homomorphic linear transforms (BSGS) and the homomorphic DFT
+// ---------------------------------------------------------------------
+
+// LinearTransform is a plaintext matrix pre-encoded for homomorphic
+// mat×vec: the matrix's nonzero diagonals, pre-rotated and encoded at a
+// fixed level, evaluated with blocked baby-step/giant-step over the
+// hoisted rotation path (one shared digit decomposition for all baby
+// steps, one per giant step — |babies|+|giants| key switches instead of
+// one per diagonal). Build with Server.NewLinearTransform; immutable and
+// safe to share across goroutines and calls.
+type LinearTransform struct {
+	lt *ckks.LinearTransform
+}
+
+// Level is the input level the transform consumes ciphertexts at.
+func (t *LinearTransform) Level() int { return t.lt.Level }
+
+// Depth is the number of rescales the evaluation performs: the output
+// lands at Level() − Depth(), back at ≈ the input scale.
+func (t *LinearTransform) Depth() int { return t.lt.Rescales }
+
+// N1 is the baby-step block size the evaluation uses.
+func (t *LinearTransform) N1() int { return t.lt.N1 }
+
+// Rotations lists the rotation steps the evaluation needs keys for —
+// export them via EvalKeyConfig.Rotations.
+func (t *LinearTransform) Rotations() []int { return t.lt.Rotations() }
+
+// NewLinearTransform pre-encodes a plaintext matrix given by its nonzero
+// diagonals: diags[d][r] = M[r][(r+d) mod Slots()] (d may be negative —
+// indices are cyclic; vectors shorter than Slots() are zero-padded; every
+// component must be finite). level is the input level the transform will
+// consume ciphertexts at and must leave room for Depth() rescales.
+// n1 = 0 picks the cost-optimal power-of-two block size; an explicit n1
+// must be a power of two in [1, Slots()].
+func (s *Server) NewLinearTransform(diags map[int][]complex128, level, n1 int) (*LinearTransform, error) {
+	rescales := s.params.RescalesPerLevel()
+	// Floor of 2·rescales: the pre-rescale product sits at scale
+	// Δ·Δpt ≤ 2^(2·rescales·LimbBits) and must fit under Q_level.
+	if level < 2*rescales || level > s.params.MaxLevel() {
+		return nil, fmt.Errorf("%w: transform level %d not in [%d, %d] (needs %d rescales plus scale headroom)",
+			ErrLevelOutOfRange, level, 2*rescales, s.params.MaxLevel(), rescales)
+	}
+	if n1 != 0 && (n1 < 1 || n1 > s.params.Slots() || n1&(n1-1) != 0) {
+		return nil, fmt.Errorf("%w: block size %d is not a power of two in [1, %d]",
+			ErrInvalidSpan, n1, s.params.Slots())
+	}
+	nonzero := false
+	for d, v := range diags {
+		if err := validateMessage(s.params, v); err != nil {
+			return nil, fmt.Errorf("diagonal %d: %w", d, err)
+		}
+		for _, z := range v {
+			if z != 0 {
+				nonzero = true
+				break
+			}
+		}
+	}
+	if !nonzero {
+		return nil, fmt.Errorf("%w: transform has no nonzero diagonals", ErrInvalidSpan)
+	}
+	return &LinearTransform{lt: s.encoder.NewLinearTransform(diags, level, n1)}, nil
+}
+
+// resolveRotations gathers keys for every step of a transform's rotation
+// set, erroring with ErrEvaluationKeyMissing before any compute happens.
+func (s *Server) resolveRotations(evk *EvaluationKeys, steps []int) (map[int]*ckks.RotationKey, error) {
+	rot := make(map[int]*ckks.RotationKey, len(steps))
+	for _, st := range steps {
+		rk, err := s.rotationKey(evk, st)
+		if err != nil {
+			return nil, err
+		}
+		rot[st] = rk
+	}
+	return rot, nil
+}
+
+// LinearTransform applies a pre-encoded matrix to ct. Ciphertexts above
+// the transform's level are dropped to it first (the usual way to feed a
+// fresh ciphertext into a transform built at the keys' depth cap); below
+// it is an error. The result lands Depth() levels below t.Level() at
+// ≈ the input scale. The key set must carry every step in t.Rotations().
+func (s *Server) LinearTransform(ct *Ciphertext, t *LinearTransform, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return nil, err
+	}
+	if evk == nil {
+		return nil, fmt.Errorf("%w: no evaluation-key set provided", ErrEvaluationKeyMissing)
+	}
+	if ct.Level < t.Level() {
+		return nil, fmt.Errorf("%w: ciphertext at level %d, transform encoded at %d",
+			ErrLevelOutOfRange, ct.Level, t.Level())
+	}
+	if t.Level() > evk.set.MaxLevel {
+		return nil, fmt.Errorf("%w: transform level %d exceeds the evaluation keys' depth %d",
+			ErrLevelOutOfRange, t.Level(), evk.set.MaxLevel)
+	}
+	rot, err := s.resolveRotations(evk, t.Rotations())
+	if err != nil {
+		return nil, err
+	}
+	if ct.Level > t.Level() {
+		ct = s.eval.DropLevel(ct, t.Level())
+	}
+	return s.eval.LinearTransform(ct, t.lt, rot), nil
+}
+
+// HomomorphicDFT is a built CoeffsToSlots/SlotsToCoeffs pipeline: the
+// scheme's special FFT factored into Levels grouped sparse matrices per
+// direction, each pre-encoded as a LinearTransform at its scheduled
+// level. Build with Server.NewHomomorphicDFT; immutable and shareable.
+type HomomorphicDFT struct {
+	dft *ckks.HomomorphicDFT
+}
+
+// HomomorphicDFTConfig selects the depth/width trade-off of a
+// homomorphic DFT.
+type HomomorphicDFTConfig struct {
+	// StartLevel is the level CoeffsToSlots consumes its input at; the
+	// full round trip spends 2·Levels·depth-per-level limbs below it.
+	StartLevel int
+	// Levels is the number of grouped butterfly matrices per direction,
+	// in [1, log2(Slots())]: more levels means sparser matrices (fewer
+	// rotations and key switches each) at the cost of more depth.
+	Levels int
+}
+
+// StartLevel is the level CoeffsToSlots consumes its input at.
+func (d *HomomorphicDFT) StartLevel() int { return d.dft.StartLevel }
+
+// MidLevel is the level the CoeffsToSlots outputs (and SlotsToCoeffs
+// inputs) live at.
+func (d *HomomorphicDFT) MidLevel() int { return d.dft.MidLevel }
+
+// EndLevel is the level the SlotsToCoeffs output lands at.
+func (d *HomomorphicDFT) EndLevel() int {
+	return 2*d.dft.MidLevel - d.dft.StartLevel
+}
+
+// Rotations lists the rotation steps the full pipeline needs — export
+// them (plus Conjugate: true) via EvalKeyConfig.
+func (d *HomomorphicDFT) Rotations() []int { return d.dft.Rotations() }
+
+// NewHomomorphicDFT factors and pre-encodes the homomorphic DFT matrices.
+func (s *Server) NewHomomorphicDFT(cfg HomomorphicDFTConfig) (*HomomorphicDFT, error) {
+	logn := 0
+	for 1<<uint(logn+1) <= s.params.Slots() {
+		logn++
+	}
+	if cfg.Levels < 1 || cfg.Levels > logn {
+		return nil, fmt.Errorf("%w: DFT levels %d not in [1, %d]", ErrInvalidSpan, cfg.Levels, logn)
+	}
+	r := s.params.RescalesPerLevel()
+	depth := 2 * cfg.Levels * r
+	// The deepest transform runs at StartLevel − (2·Levels−1)·r and, like
+	// every LinearTransform, needs 2r levels under it: floor (2·Levels+1)·r.
+	if cfg.StartLevel > s.params.MaxLevel() || cfg.StartLevel < depth+r {
+		return nil, fmt.Errorf("%w: DFT start level %d not in [%d, %d] (round trip spends %d limbs)",
+			ErrLevelOutOfRange, cfg.StartLevel, depth+r, s.params.MaxLevel(), depth)
+	}
+	return &HomomorphicDFT{dft: s.encoder.NewHomomorphicDFT(ckks.HomomorphicDFTConfig{
+		StartLevel: cfg.StartLevel,
+		Levels:     cfg.Levels,
+	})}, nil
+}
+
+// CoeffsToSlots homomorphically exposes the plaintext polynomial's
+// coefficients as slot values: the factored inverse DFT followed by the
+// conjugate real/imaginary split. The returned pair holds, in
+// bit-reversed slot order (see fftfp.BitReverse), the real-valued
+// coefficient halves c_r and c_{r+Slots} of ct's underlying polynomial —
+// the form a bootstrap's modular reduction consumes. ct is dropped to
+// dft.StartLevel() if above it; both outputs land at dft.MidLevel(). The
+// key set must carry dft.Rotations() and the conjugation key.
+func (s *Server) CoeffsToSlots(ct *Ciphertext, dft *HomomorphicDFT, evk *EvaluationKeys) (re, im *Ciphertext, err error) {
+	if err := validateCoeffCiphertext(s.params, ct); err != nil {
+		return nil, nil, err
+	}
+	if evk == nil {
+		return nil, nil, fmt.Errorf("%w: no evaluation-key set provided", ErrEvaluationKeyMissing)
+	}
+	if ct.Level < dft.StartLevel() {
+		return nil, nil, fmt.Errorf("%w: ciphertext at level %d, DFT starts at %d",
+			ErrLevelOutOfRange, ct.Level, dft.StartLevel())
+	}
+	if dft.StartLevel() > evk.set.MaxLevel {
+		return nil, nil, fmt.Errorf("%w: DFT start level %d exceeds the evaluation keys' depth %d",
+			ErrLevelOutOfRange, dft.StartLevel(), evk.set.MaxLevel)
+	}
+	if evk.set.Conj == nil {
+		return nil, nil, fmt.Errorf("%w: CoeffsToSlots' conjugate split needs the conjugation key", ErrEvaluationKeyMissing)
+	}
+	rot, err := s.resolveRotations(evk, dft.Rotations())
+	if err != nil {
+		return nil, nil, err
+	}
+	if ct.Level > dft.StartLevel() {
+		ct = s.eval.DropLevel(ct, dft.StartLevel())
+	}
+	re, im = s.eval.CoeffsToSlots(ct, dft.dft, rot, evk.set.Conj)
+	return re, im, nil
+}
+
+// SlotsToCoeffs inverts CoeffsToSlots: recombines the two coefficient
+// halves (one keyless multiply by i) and applies the factored forward
+// DFT. re and im must both sit at dft.MidLevel() with matching scales;
+// the result lands at dft.EndLevel() holding the original slot values.
+func (s *Server) SlotsToCoeffs(re, im *Ciphertext, dft *HomomorphicDFT, evk *EvaluationKeys) (*Ciphertext, error) {
+	if err := s.validatePair(re, im); err != nil {
+		return nil, err
+	}
+	if evk == nil {
+		return nil, fmt.Errorf("%w: no evaluation-key set provided", ErrEvaluationKeyMissing)
+	}
+	if re.Level != dft.MidLevel() {
+		return nil, fmt.Errorf("%w: inputs at level %d, SlotsToCoeffs consumes level %d",
+			ErrLevelOutOfRange, re.Level, dft.MidLevel())
+	}
+	if dft.MidLevel() > evk.set.MaxLevel {
+		return nil, fmt.Errorf("%w: DFT mid level %d exceeds the evaluation keys' depth %d",
+			ErrLevelOutOfRange, dft.MidLevel(), evk.set.MaxLevel)
+	}
+	rot, err := s.resolveRotations(evk, dft.Rotations())
+	if err != nil {
+		return nil, err
+	}
+	return s.eval.SlotsToCoeffs(re, im, dft.dft, rot), nil
+}
+
 // Evaluator exposes the low-level keyless evaluator (plaintext operands,
 // panicking misuse semantics) for call sites that have already validated
 // their inputs.
