@@ -51,7 +51,7 @@ import (
 func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
-		fmt.Println("subcommands: demo (default), keygen, evalkeys, encrypt, eval, decrypt")
+		fmt.Println("subcommands: demo (default), keygen, evalkeys, encrypt, eval, decrypt, serve")
 		fmt.Println("run `abc-fhe <subcommand> -h` for that subcommand's flags")
 		return
 	}
@@ -70,8 +70,10 @@ func main() {
 			err = runEval(args[1:])
 		case "decrypt":
 			err = runDecrypt(args[1:])
+		case "serve":
+			err = runServe(args[1:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (try: demo, keygen, evalkeys, encrypt, eval, decrypt)", cmd)
+			err = fmt.Errorf("unknown subcommand %q (try: demo, keygen, evalkeys, encrypt, eval, decrypt, serve)", cmd)
 		}
 	} else {
 		err = runDemo(args)

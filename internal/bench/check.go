@@ -152,6 +152,72 @@ func appendReport(outPath string, report BenchReport) error {
 	return os.WriteFile(outPath, append(data, '\n'), 0o644)
 }
 
+// lastReport returns the most recent report already recorded at outPath,
+// if any — the baseline the delta table compares the fresh run against.
+// The legacy single-object shape is accepted the same way appendReport
+// accepts it.
+func lastReport(outPath string) (BenchReport, bool) {
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		return BenchReport{}, false
+	}
+	var reports []BenchReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		var single BenchReport
+		if json.Unmarshal(data, &single) != nil {
+			return BenchReport{}, false
+		}
+		reports = []BenchReport{single}
+	}
+	if len(reports) == 0 {
+		return BenchReport{}, false
+	}
+	return reports[len(reports)-1], true
+}
+
+// pctDelta renders the signed percentage movement from prev to now.
+func pctDelta(prev, now float64) string {
+	if prev <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(now-prev)/prev)
+}
+
+// writeDeltaTable prints op-by-op movement versus the previous recorded
+// run: ns/op with a signed percentage, allocs/op on both sides, and blob
+// bytes for the size rows. Informational only — the hard gates are the
+// relative structural claims and the committed budgets; wall-clock drift
+// between CI machines must not fail the build, but it should be visible
+// in the log without diffing two JSON documents by hand.
+func writeDeltaTable(w io.Writer, prev, cur BenchReport) {
+	prevByOp := make(map[string]BenchRecord, len(prev.Records))
+	for _, r := range prev.Records {
+		prevByOp[r.Op] = r
+	}
+	fmt.Fprintf(w, "delta vs previous report (%s/%s):\n", prev.GoVersion, prev.GOARCH)
+	fmt.Fprintf(w, "  %-24s %14s %14s %9s  %s\n", "op", "prev", "now", "delta", "allocs/op")
+	for _, r := range cur.Records {
+		p, ok := prevByOp[r.Op]
+		if !ok {
+			fmt.Fprintf(w, "  %-24s %14s %14.0f %9s\n", r.Op, "-", r.NsPerOp, "new")
+			continue
+		}
+		delete(prevByOp, r.Op)
+		if r.BlobBytes != 0 || p.BlobBytes != 0 {
+			fmt.Fprintf(w, "  %-24s %14d %14d %9s  (blob bytes)\n",
+				r.Op, p.BlobBytes, r.BlobBytes, pctDelta(float64(p.BlobBytes), float64(r.BlobBytes)))
+			continue
+		}
+		fmt.Fprintf(w, "  %-24s %14.0f %14.0f %9s  %d -> %d\n",
+			r.Op, p.NsPerOp, r.NsPerOp, pctDelta(p.NsPerOp, r.NsPerOp), p.AllocsPerOp, r.AllocsPerOp)
+	}
+	for _, r := range prev.Records {
+		if _, dropped := prevByOp[r.Op]; dropped {
+			fmt.Fprintf(w, "  %-24s %14.0f %14s %9s\n", r.Op, r.NsPerOp, "-", "dropped")
+		}
+	}
+}
+
 // RunBenchCheck executes the gate, appends the report to outPath, and
 // compares it against the budgets at budgetPath. Progress and the verdict
 // go to w. A nil error means every gate passed.
@@ -380,7 +446,11 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 	add(BenchRecord{Op: "EvkBlobHybridPN15", BlobBytes: hyBlob})
 	add(BenchRecord{Op: "EvkBlobBVPN15", BlobBytes: bvBlob})
 
-	// --- Append the report ---
+	// --- Delta vs the previous trajectory entry, then append ---
+	// The baseline must be read before appendReport rewrites the file.
+	if prev, ok := lastReport(outPath); ok {
+		writeDeltaTable(w, prev, report)
+	}
 	if err := appendReport(outPath, report); err != nil {
 		return err
 	}

@@ -50,6 +50,8 @@ type Parameters struct {
 	ringQ    *ring.Ring
 	levels   []*ring.Ring // levels[l-1]: cached view at level l (AtLevel rebuilds CRT tables — too hot for per-op calls)
 	embedder *fftfp.Embedder
+
+	engMu    sync.Mutex    // guards ownedEng: Close may race Close (and a late SetWorkers) during teardown
 	ownedEng *lanes.Engine // non-nil when SetWorkers installed a private engine
 
 	// Hybrid key-switching state (nil/empty when SpecialLimbs == 0).
@@ -266,11 +268,14 @@ func (p *Parameters) RingAt(level int) *ring.Ring {
 // parameters across goroutines. A previously installed private engine is
 // released.
 func (p *Parameters) SetWorkers(n int) {
+	p.engMu.Lock()
 	if p.ownedEng != nil {
 		p.ownedEng.Close()
 	}
 	p.ownedEng = lanes.New(n)
-	p.setEngineAll(p.ownedEng)
+	e := p.ownedEng
+	p.engMu.Unlock()
+	p.setEngineAll(e)
 }
 
 // setEngineAll installs e on the full ring, every cached level view, the
@@ -324,11 +329,18 @@ func (p *Parameters) setBackendAll(b lanes.Backend) {
 func (p *Parameters) Backend() lanes.Backend { return p.ringQ.Backend() }
 
 // Close releases any private lane engine installed by SetWorkers. Safe to
-// call on parameters that never configured one.
+// call on parameters that never configured one, to call more than once,
+// and to call from multiple goroutines at once — the serving layer's
+// teardown reaches a party's Close from both the drain path and deferred
+// cleanup, and a double Close must be a no-op, never a double channel
+// close.
 func (p *Parameters) Close() {
-	if p.ownedEng != nil {
-		p.ownedEng.Close()
-		p.ownedEng = nil
+	p.engMu.Lock()
+	e := p.ownedEng
+	p.ownedEng = nil
+	p.engMu.Unlock()
+	if e != nil {
+		e.Close()
 		p.setEngineAll(nil)
 	}
 }

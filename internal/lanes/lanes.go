@@ -27,8 +27,9 @@ import (
 // nested Run calls (the caller always participates, so a busy pool
 // degrades to inline execution instead of deadlocking).
 type Engine struct {
-	workers int
-	jobs    chan *job // buffered; nil when workers == 1
+	workers   int
+	jobs      chan *job // buffered; nil when workers == 1
+	closeOnce sync.Once
 }
 
 // job is one Run invocation: a task body plus a work-stealing cursor.
@@ -93,15 +94,19 @@ func (e *Engine) Workers() int {
 }
 
 // Close releases the pool goroutines. Only call on engines created with
-// New, at most once, with no Run in flight; the engine must not be used
-// afterwards. Closing Default is forbidden.
+// New, with no Run in flight; the engine must not be used afterwards.
+// Close is idempotent and safe to call from multiple goroutines — service
+// teardown paths (a signal handler racing a deferred cleanup) reach it
+// more than once. Closing Default is forbidden.
 func (e *Engine) Close() {
 	if e == defaultEng {
 		panic("lanes: cannot close the default engine")
 	}
-	if e.jobs != nil {
-		close(e.jobs)
-	}
+	e.closeOnce.Do(func() {
+		if e.jobs != nil {
+			close(e.jobs)
+		}
+	})
 }
 
 func worker(jobs <-chan *job) {

@@ -1,0 +1,301 @@
+package serve
+
+// Eviction-semantics tests for the evaluation-key cache, table-driven
+// against a fake clock: admission rejection, LRU order, pinned-while-
+// in-flight protection, session refcounts not pinning residency, and
+// deferred removal after unregister-while-pinned. The decoded-keys
+// payload is irrelevant to the cache's bookkeeping, so entries carry
+// zero-value *abcfhe.EvaluationKeys sentinels and a counting loader.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	abcfhe "repro"
+)
+
+// fakeClock advances one second per observation — every touch gets a
+// distinct, strictly increasing timestamp, so LRU order in the tests
+// below is exactly operation order.
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) tick() time.Time {
+	f.now = f.now.Add(time.Second)
+	return f.now
+}
+
+type cacheHarness struct {
+	t        *testing.T
+	c        *KeyCache
+	dir      string
+	loads    map[string]int
+	releases map[string][]func()
+}
+
+func newCacheHarness(t *testing.T, budget int64) *cacheHarness {
+	fc := &fakeClock{now: time.Unix(1_000_000, 0)}
+	return &cacheHarness{
+		t:        t,
+		c:        NewKeyCache(budget, fc.tick),
+		dir:      t.TempDir(),
+		loads:    map[string]int{},
+		releases: map[string][]func(){},
+	}
+}
+
+func (h *cacheHarness) spool(hash string) string {
+	return filepath.Join(h.dir, hash)
+}
+
+func (h *cacheHarness) register(hash string, size int64, withKeys bool) error {
+	if err := os.WriteFile(h.spool(hash), []byte(hash), 0o600); err != nil {
+		h.t.Fatal(err)
+	}
+	var keys *abcfhe.EvaluationKeys
+	if withKeys {
+		keys = &abcfhe.EvaluationKeys{}
+	}
+	return h.c.Register(hash, size, h.spool(hash), keys, func([]byte) (*abcfhe.EvaluationKeys, error) {
+		h.loads[hash]++
+		return &abcfhe.EvaluationKeys{}, nil
+	})
+}
+
+func (h *cacheHarness) acquire(hash string) error {
+	keys, release, err := h.c.Acquire(hash)
+	if err != nil {
+		return err
+	}
+	if keys == nil {
+		h.t.Fatalf("Acquire(%s): nil keys with nil error", hash)
+	}
+	h.releases[hash] = append(h.releases[hash], release)
+	return nil
+}
+
+func (h *cacheHarness) release(hash string) {
+	rs := h.releases[hash]
+	if len(rs) == 0 {
+		h.t.Fatalf("release(%s): nothing acquired", hash)
+	}
+	rs[len(rs)-1]()
+	h.releases[hash] = rs[:len(rs)-1]
+}
+
+func TestKeyCacheEvictionSemantics(t *testing.T) {
+	// Each step is (action, hash); sizes are fixed at 10 so budgets read
+	// as entry counts × 10.
+	type step struct {
+		action  string // register, registerCold, acquire, release, unregister
+		hash    string
+		wantErr error
+	}
+	cases := []struct {
+		name            string
+		budget          int64
+		steps           []step
+		wantResident    []string
+		wantNotResident []string // registered but evicted (or never loaded)
+		wantGone        []string // entry fully removed
+		wantEvictions   uint64
+		wantReloads     uint64
+		wantPressure    uint64
+	}{
+		{
+			name:   "lru-eviction-order",
+			budget: 20,
+			steps: []step{
+				{action: "register", hash: "A"},
+				{action: "register", hash: "B"},
+				// Touch A so B becomes LRU, then C's admission must evict B.
+				{action: "acquire", hash: "A"},
+				{action: "release", hash: "A"},
+				{action: "register", hash: "C"},
+			},
+			wantResident:    []string{"A", "C"},
+			wantNotResident: []string{"B"},
+			wantEvictions:   1,
+		},
+		{
+			name:   "pinned-while-inflight-survives",
+			budget: 20,
+			steps: []step{
+				{action: "register", hash: "A"},
+				{action: "register", hash: "B"},
+				// A is oldest AND pinned: eviction for C must skip it and
+				// take B, the newer but unpinned entry.
+				{action: "acquire", hash: "A"},
+				{action: "register", hash: "C"},
+				{action: "release", hash: "A"},
+			},
+			wantResident:    []string{"A", "C"},
+			wantNotResident: []string{"B"},
+			wantEvictions:   1,
+		},
+		{
+			name:   "fully-pinned-is-pressure-not-eviction",
+			budget: 10,
+			steps: []step{
+				{action: "register", hash: "A"},
+				{action: "acquire", hash: "A"},
+				{action: "registerCold", hash: "B"}, // registration itself never blocks on room
+				{action: "acquire", hash: "B", wantErr: ErrCachePressure},
+				{action: "release", hash: "A"},
+				{action: "acquire", hash: "B"}, // now A is evictable: reload succeeds
+				{action: "release", hash: "B"},
+			},
+			wantResident:    []string{"B"},
+			wantNotResident: []string{"A"},
+			wantEvictions:   1,
+			wantReloads:     1,
+			wantPressure:    1,
+		},
+		{
+			name:   "session-refs-do-not-pin",
+			budget: 10,
+			steps: []step{
+				{action: "register", hash: "A"},
+				{action: "register", hash: "A"}, // second session, same blob
+				{action: "register", hash: "B"}, // must evict A despite its two sessions
+			},
+			wantResident:    []string{"B"},
+			wantNotResident: []string{"A"},
+			wantEvictions:   1,
+		},
+		{
+			name:   "refcount-zero-eviction-then-reload",
+			budget: 10,
+			steps: []step{
+				{action: "register", hash: "A"},
+				{action: "register", hash: "B"}, // evicts A (refcount 0)
+				{action: "acquire", hash: "A"},  // evicts B, reloads A from spool
+				{action: "release", hash: "A"},
+			},
+			wantResident:    []string{"A"},
+			wantNotResident: []string{"B"},
+			wantEvictions:   2,
+			wantReloads:     1,
+		},
+		{
+			name:   "unregister-while-pinned-defers-removal",
+			budget: 20,
+			steps: []step{
+				{action: "register", hash: "A"},
+				{action: "acquire", hash: "A"},
+				{action: "unregister", hash: "A"},
+				// Still pinned: the entry must survive until release.
+				{action: "release", hash: "A"},
+			},
+			wantGone: []string{"A"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newCacheHarness(t, tc.budget)
+			for i, st := range tc.steps {
+				var err error
+				switch st.action {
+				case "register":
+					err = h.register(st.hash, 10, true)
+				case "registerCold":
+					err = h.register(st.hash, 10, false)
+				case "acquire":
+					err = h.acquire(st.hash)
+				case "release":
+					h.release(st.hash)
+				case "unregister":
+					h.c.Unregister(st.hash)
+				default:
+					t.Fatalf("step %d: unknown action %q", i, st.action)
+				}
+				if !errors.Is(err, st.wantErr) {
+					t.Fatalf("step %d (%s %s): err = %v, want %v", i, st.action, st.hash, err, st.wantErr)
+				}
+			}
+			for _, hash := range tc.wantResident {
+				if !h.c.IsResident(hash) {
+					t.Errorf("%s: not resident, want resident", hash)
+				}
+			}
+			for _, hash := range tc.wantNotResident {
+				if h.c.IsResident(hash) {
+					t.Errorf("%s: resident, want evicted", hash)
+				}
+				if !h.c.Has(hash) {
+					t.Errorf("%s: entry gone, want registered-but-cold", hash)
+				}
+			}
+			for _, hash := range tc.wantGone {
+				if h.c.Has(hash) {
+					t.Errorf("%s: still registered, want removed", hash)
+				}
+				if _, err := os.Stat(h.spool(hash)); !os.IsNotExist(err) {
+					t.Errorf("%s: spool file still on disk after removal", hash)
+				}
+			}
+			s := h.c.Stats()
+			if s.Evictions != tc.wantEvictions {
+				t.Errorf("evictions = %d, want %d", s.Evictions, tc.wantEvictions)
+			}
+			if s.Reloads != tc.wantReloads {
+				t.Errorf("reloads = %d, want %d", s.Reloads, tc.wantReloads)
+			}
+			if s.PressureRejects != tc.wantPressure {
+				t.Errorf("pressure rejects = %d, want %d", s.PressureRejects, tc.wantPressure)
+			}
+			if s.ResidentBytes > s.Budget {
+				t.Errorf("resident %d bytes exceeds budget %d", s.ResidentBytes, s.Budget)
+			}
+		})
+	}
+}
+
+func TestKeyCacheAdmission(t *testing.T) {
+	h := newCacheHarness(t, 25)
+	if err := h.c.Admit(26); !errors.Is(err, ErrCacheAdmission) {
+		t.Fatalf("Admit(26) = %v, want ErrCacheAdmission", err)
+	}
+	if err := h.c.Admit(25); err != nil {
+		t.Fatalf("Admit(25) = %v, want nil", err)
+	}
+	if err := h.c.Register("big", 26, h.spool("big"), nil, nil); !errors.Is(err, ErrCacheAdmission) {
+		t.Fatalf("Register(big) = %v, want ErrCacheAdmission", err)
+	}
+	if h.c.Has("big") {
+		t.Fatal("rejected blob must not leave an entry behind")
+	}
+	if got := h.c.Stats().AdmissionRejects; got != 2 {
+		t.Fatalf("admission rejects = %d, want 2", got)
+	}
+}
+
+func TestKeyCacheReloadCountsLoads(t *testing.T) {
+	h := newCacheHarness(t, 10)
+	if err := h.register("A", 10, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.register("B", 10, true); err != nil { // evicts A; B could not be admitted resident? no: A unpinned
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // ping-pong A and B: every acquire is a reload
+		if err := h.acquire("A"); err != nil {
+			t.Fatal(err)
+		}
+		h.release("A")
+		if err := h.acquire("B"); err != nil {
+			t.Fatal(err)
+		}
+		h.release("B")
+	}
+	if h.loads["A"] != 3 || h.loads["B"] != 3 {
+		t.Fatalf("loads = A:%d B:%d, want 3 each (every swap reloads from spool)", h.loads["A"], h.loads["B"])
+	}
+	s := h.c.Stats()
+	if s.Reloads != 6 || s.Hits != 0 {
+		t.Fatalf("reloads=%d hits=%d, want 6 reloads, 0 hits under ping-pong", s.Reloads, s.Hits)
+	}
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"sync"
+
+	abcfhe "repro"
+	"repro/internal/ckks"
+)
+
+// specServer is the shared evaluation engine for one parameter set: all
+// sessions whose key blobs embed the same ParamSpec evaluate on one
+// abcfhe.Server (stateless per-op, race-audited in
+// server_concurrency_test.go) and share its pre-encoded DFT pipelines.
+type specServer struct {
+	srv     *abcfhe.Server
+	spec    ckks.ParamSpec
+	maxPart int64 // per-frame byte cap: a full-depth ciphertext + slack
+
+	dftMu sync.Mutex
+	dfts  map[dftKey]*abcfhe.HomomorphicDFT
+}
+
+type dftKey struct{ start, levels int }
+
+func newSpecServer(srv *abcfhe.Server, spec ckks.ParamSpec) (*specServer, error) {
+	ctMax, err := srv.CiphertextWireBytes(srv.MaxLevel())
+	if err != nil {
+		return nil, err
+	}
+	maxPart := int64(ctMax) + 64
+	if maxPart < 1<<20 { // dot's plaintext weight vector travels as text
+		maxPart = 1 << 20
+	}
+	return &specServer{
+		srv:     srv,
+		spec:    spec,
+		maxPart: maxPart,
+		dfts:    make(map[dftKey]*abcfhe.HomomorphicDFT),
+	}, nil
+}
+
+// importKeys is the cache's loadFunc: re-decode a spooled blob on this
+// spec's server.
+func (sp *specServer) importKeys(blob []byte) (*abcfhe.EvaluationKeys, error) {
+	return sp.srv.ImportEvaluationKeys(blob)
+}
+
+// dft returns the memoized CoeffsToSlots/SlotsToCoeffs pipeline for a
+// (start level, butterfly levels) schedule; building one pre-encodes
+// 2·levels linear transforms, so it is far too expensive per-request.
+func (sp *specServer) dft(start, levels int) (*abcfhe.HomomorphicDFT, error) {
+	sp.dftMu.Lock()
+	defer sp.dftMu.Unlock()
+	k := dftKey{start, levels}
+	if d, ok := sp.dfts[k]; ok {
+		return d, nil
+	}
+	d, err := sp.srv.NewHomomorphicDFT(abcfhe.HomomorphicDFTConfig{StartLevel: start, Levels: levels})
+	if err != nil {
+		return nil, err
+	}
+	sp.dfts[k] = d
+	return d, nil
+}
+
+// dftAtMid finds the schedule whose midpoint sits at the given level —
+// the SlotsToCoeffs entry point, recovered from the inputs the same way
+// the CLI does. MidLevel falls monotonically as StartLevel does, so at
+// most a couple of candidates are built (then memoized).
+func (sp *specServer) dftAtMid(mid, levels int) (*abcfhe.HomomorphicDFT, error) {
+	for start := mid + levels; start <= sp.srv.MaxLevel(); start++ {
+		d, err := sp.dft(start, levels)
+		if err != nil {
+			continue // start too shallow for this schedule; keep climbing
+		}
+		if d.MidLevel() == mid {
+			return d, nil
+		}
+		if d.MidLevel() > mid {
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w: no %d-level DFT has its midpoint at level %d",
+		abcfhe.ErrLevelOutOfRange, levels, mid)
+}
+
+// opSpec declares one eval endpoint: how many frame parts it takes,
+// whether it needs the session's evaluation keys, and how to compile
+// the request into a runFunc. Parsing and deserialization happen on the
+// HTTP goroutine (malformed input fails fast with 400, before the
+// request occupies queue capacity); only the key-gated compute runs on
+// a dispatch worker.
+type opSpec struct {
+	needsKeys bool
+	minParts  int
+	maxParts  int
+	build     func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error)
+}
+
+func intParam(q url.Values, name string, def int) (int, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: query param %s=%q is not an integer", abcfhe.ErrInvalidConstant, name, s)
+	}
+	return v, nil
+}
+
+// rescaleResult applies the optional `rescale=n` suffix ops like mul
+// and dot accept (a mul consumes one rescale, two on double-scale
+// presets).
+func rescaleResult(sp *specServer, q url.Values, out *abcfhe.Ciphertext) (*abcfhe.Ciphertext, error) {
+	n, err := intParam(q, "rescale", 0)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > sp.srv.MaxLevel() {
+		return nil, fmt.Errorf("%w: rescale=%d out of range", abcfhe.ErrLevelOutOfRange, n)
+	}
+	for i := 0; i < n; i++ {
+		if out, err = sp.srv.Rescale(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func serialized(sp *specServer, cts ...*abcfhe.Ciphertext) ([][]byte, error) {
+	parts := make([][]byte, len(cts))
+	for i, ct := range cts {
+		data, err := sp.srv.SerializeCiphertext(ct)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = data
+	}
+	return parts, nil
+}
+
+// opTable is the evaluation surface: the CLI's eval ops plus seeded
+// upload expansion, one HTTP endpoint each under /v1/eval/{op}.
+var opTable = map[string]opSpec{
+	"mul": {needsKeys: true, minParts: 2, maxParts: 2,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			a, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := sp.srv.DeserializeCiphertext(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.Mul(a, b, evk)
+				if err != nil {
+					return nil, err
+				}
+				if out, err = rescaleResult(sp, q, out); err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"rotate": {needsKeys: true, minParts: 1, maxParts: 1,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			by, err := intParam(q, "by", 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.Rotate(ct, by, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"conjugate": {needsKeys: true, minParts: 1, maxParts: 1,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.Conjugate(ct, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"innersum": {needsKeys: true, minParts: 1, maxParts: 1,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			span, err := intParam(q, "span", 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.InnerSum(ct, span, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"dot": {needsKeys: true, minParts: 2, maxParts: 2,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			weights, err := parseComplexLines(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.DotPlain(ct, weights, evk)
+				if err != nil {
+					return nil, err
+				}
+				if out, err = rescaleResult(sp, q, out); err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"c2s": {needsKeys: true, minParts: 1, maxParts: 1,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			levels, err := intParam(q, "levels", 1)
+			if err != nil {
+				return nil, err
+			}
+			start, err := intParam(q, "start", ct.Level)
+			if err != nil {
+				return nil, err
+			}
+			dft, err := sp.dft(start, levels)
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				re, im, err := sp.srv.CoeffsToSlots(ct, dft, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, re, im)
+			}, nil
+		}},
+	"s2c": {needsKeys: true, minParts: 2, maxParts: 2,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			re, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			im, err := sp.srv.DeserializeCiphertext(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			levels, err := intParam(q, "levels", 1)
+			if err != nil {
+				return nil, err
+			}
+			dft, err := sp.dftAtMid(re.Level, levels)
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.SlotsToCoeffs(re, im, dft, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"expand": {needsKeys: false, minParts: 1, maxParts: 1,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			blob := parts[0]
+			return func(*abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.ExpandCompressedUpload(blob)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+}

@@ -128,7 +128,10 @@ func (p *party) Workers() int { return p.params.Workers() }
 
 // Close releases the party's private lane engine, if WithWorkers
 // installed one. The party must be idle; using it afterwards falls back
-// to the shared default engine.
+// to the shared default engine. Close is idempotent and safe to call
+// concurrently — serving-layer teardown reaches it from multiple paths
+// (drain, deferred cleanup, signal handlers), and a second Close is a
+// no-op.
 func (p *party) Close() {
 	if p.ownsParams {
 		p.params.Close()
