@@ -17,12 +17,17 @@
 //
 // The eval subcommand bootstraps its server from the evaluation-key blob
 // alone (the parameter spec is embedded) and supports ops mul, rotate,
-// conjugate, innersum, dot, c2s and s2c — the encrypted-compute surface
-// of the Server role. c2s (CoeffsToSlots) emits two ciphertexts (-out
-// the real coefficient half, -out2 the imaginary one); s2c inverts it,
-// taking the pair back via -a/-b. Both need an evaluation-key blob
-// exported with `evalkeys -dft-levels N`. Message files hold one complex
-// value per line: "re" or "re im".
+// conjugate, innersum, dot, c2s, s2c, evalpoly and evalmod — the
+// encrypted-compute surface of the Server role. c2s (CoeffsToSlots) emits
+// two ciphertexts (-out the real coefficient half, -out2 the imaginary
+// one); s2c inverts it, taking the pair back via -a/-b. Both need an
+// evaluation-key blob exported with `evalkeys -dft-levels N`. evalpoly
+// applies the polynomial whose monomial coefficients -coeffs lists (one
+// per line, degree order) over the interval the -lo/-hi flags give, via
+// the BSGS Chebyshev schedule; evalmod applies the sine-surrogate
+// modular reduction (-degree, -range) — the bootstrap stage that follows
+// c2s. Message files hold one complex value per line: "re" or
+// "re im".
 //
 // Demo usage:
 //
@@ -251,12 +256,18 @@ func runEvalKeys(args []string) error {
 func runEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	evkPath := fs.String("evk", "evk.bin", "evaluation-key blob from `abc-fhe evalkeys`")
-	op := fs.String("op", "", "operation: mul, rotate, conjugate, innersum, dot, c2s, s2c")
+	op := fs.String("op", "", "operation: mul, rotate, conjugate, innersum, dot, c2s, s2c, evalpoly, evalmod")
 	aPath := fs.String("a", "", "first ciphertext file")
 	bPath := fs.String("b", "", "second ciphertext file (mul; the imaginary half for s2c)")
 	by := fs.Int("by", 0, "rotation step (rotate)")
 	span := fs.Int("span", 0, "inner-sum span, a power of two (innersum)")
 	weights := fs.String("weights", "", "plaintext weight file, one value per line (dot)")
+	coeffsPath := fs.String("coeffs", "", "monomial coefficient file, one value per line in degree order (evalpoly)")
+	lo := fs.Float64("lo", -1, "approximation interval lower bound (evalpoly)")
+	hi := fs.Float64("hi", 1, "approximation interval upper bound (evalpoly)")
+	level := fs.Int("level", 0, "input level the polynomial is compiled at (evalpoly, evalmod; 0 = minimum feasible)")
+	degree := fs.Int("degree", 0, "sine-surrogate Taylor degree (evalmod; 0 = 15)")
+	modRange := fs.Float64("range", 0, "sine-surrogate modulus analogue (evalmod; 0 = 8)")
 	dftLevels := fs.Int("dft-levels", 1, "butterfly groups per direction (c2s, s2c) — match `evalkeys -dft-levels`")
 	out2Path := fs.String("out2", "ct.out2.bin", "second output ciphertext file (c2s imaginary half)")
 	dropLevel := fs.Int("drop-level", 0, "DropLevel the inputs first (0 = keep; use the evalkeys depth)")
@@ -386,8 +397,32 @@ func runEval(args []string) error {
 		if out, err = server.SlotsToCoeffs(a, b, dft, evk); err != nil {
 			return err
 		}
+	case "evalpoly":
+		if *coeffsPath == "" {
+			return fmt.Errorf("eval: -op evalpoly needs -coeffs")
+		}
+		coeffs, err := readMessageFile(*coeffsPath)
+		if err != nil {
+			return err
+		}
+		pe, err := server.NewPolyEval(coeffs, *lo, *hi, *level)
+		if err != nil {
+			return err
+		}
+		if out, err = server.EvalPoly(a, pe, evk); err != nil {
+			return err
+		}
+	case "evalmod":
+		em, err := server.NewEvalMod(abcfhe.EvalModConfig{
+			Degree: *degree, Range: *modRange, Level: *level})
+		if err != nil {
+			return err
+		}
+		if out, err = server.EvalMod(a, em, evk); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("eval: unknown -op %q (mul, rotate, conjugate, innersum, dot, c2s, s2c)", *op)
+		return fmt.Errorf("eval: unknown -op %q (mul, rotate, conjugate, innersum, dot, c2s, s2c, evalpoly, evalmod)", *op)
 	}
 	for i := 0; i < *rescale; i++ {
 		if out, err = server.Rescale(out); err != nil {

@@ -13,7 +13,7 @@
 //
 // Benchmark-regression gate (the CI `bench-check` step):
 //
-//	abcbench -check -out BENCH_7.json -budget bench_budget.json
+//	abcbench -check -out BENCH_8.json -budget bench_budget.json
 //
 // runs the MulRelin (hybrid vs BV at max level on PN15, under both the
 // portable and fast execution backends), Rotate, DecryptDecode and
@@ -39,7 +39,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	check := flag.Bool("check", false, "run the benchmark-regression gate instead of experiments")
-	checkOut := flag.String("out", "BENCH_7.json", "bench-check: report output path (appended to, not overwritten)")
+	checkOut := flag.String("out", "BENCH_8.json", "bench-check: report output path (appended to, not overwritten)")
 	checkBudget := flag.String("budget", "bench_budget.json", "bench-check: committed budget file")
 	flag.Parse()
 

@@ -1,6 +1,6 @@
 // Benchmark-regression gate (the `abcbench -check` mode CI runs): execute
 // the key-switch and client-pipeline benchmarks under both execution
-// backends, append a machine-readable report to BENCH_7.json, and fail
+// backends, append a machine-readable report to BENCH_8.json, and fail
 // when an allocation count or evaluation-key blob size regresses past the
 // budgets committed in bench_budget.json.
 //
@@ -17,17 +17,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/ckks"
+	"repro/internal/fftfp"
 	"repro/internal/lanes"
 	"repro/internal/prng"
 )
 
-// BenchRecord is one row of a BENCH_7.json report.
+// BenchRecord is one row of a BENCH_8.json report.
 type BenchRecord struct {
 	Op          string  `json:"op"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
@@ -36,7 +38,7 @@ type BenchRecord struct {
 	BlobBytes   int64   `json:"evk_blob_bytes,omitempty"`
 }
 
-// BenchReport is one gate run. BENCH_7.json holds an array of these —
+// BenchReport is one gate run. BENCH_8.json holds an array of these —
 // RunBenchCheck appends rather than overwrites, so a committed baseline
 // survives CI re-runs and speedups stay comparable across PRs.
 type BenchReport struct {
@@ -424,6 +426,41 @@ func RunBenchCheck(outPath, budgetPath string, w io.Writer) error {
 		}
 	})
 	add(record("MulRelinHybridPN15Fused", hyFusedBench))
+
+	// --- Polynomial evaluation at paper scale (fast backend, reusing the
+	// max-depth relinearization key): the BSGS Chebyshev schedule on a
+	// generic degree-7 polynomial at its minimum level, and the degree-15
+	// sine-surrogate EvalMod at level 15 — the bootstrap's post-
+	// CoeffsToSlots stage the round-trip precision test pins.
+	mono7 := make([]complex128, 8)
+	for i := range mono7 {
+		mono7[i] = complex(1/float64(i+1), 0)
+	}
+	plan7 := p15.NewEvalPolyPlan(mono7, -1, 1, 0)
+	ct7 := ev15.DropLevel(ct15, plan7.Level())
+	ev15.EvalPoly(ct7, plan7, rlkHy)
+	add(record("EvalPolyPN15", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.EvalPoly(ct7, plan7, rlkHy)
+		}
+	})))
+	const modRange = 8.0
+	sinCoeffs := fftfp.SinTaylorCoeffs(15)
+	monoMod := make([]complex128, len(sinCoeffs))
+	pw := modRange / (2 * math.Pi) // default Scaling
+	for k, sk := range sinCoeffs {
+		monoMod[k] = complex(sk*pw, 0)
+		pw *= 2 * math.Pi / modRange
+	}
+	planMod := p15.NewEvalPolyPlan(monoMod, -modRange, modRange, 15)
+	ctMod := ev15.DropLevel(ct15, planMod.Level())
+	ev15.EvalPoly(ctMod, planMod, rlkHy)
+	add(record("EvalModPN15", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev15.EvalPoly(ctMod, planMod, rlkHy)
+		}
+	})))
+
 	rlkHy = nil
 	runtime.GC()
 

@@ -23,6 +23,8 @@ func testReport() BenchReport {
 		{Op: "MulRelinHybridPN15Fused", AllocsPerOp: 319},
 		{Op: "MulRelinBVPN15", AllocsPerOp: 764},
 		{Op: "CoeffsToSlotsPN15", AllocsPerOp: 3444},
+		{Op: "EvalPolyPN15", AllocsPerOp: 1128},
+		{Op: "EvalModPN15", AllocsPerOp: 1779},
 		{Op: "EvkBlobHybridPN15", BlobBytes: 242221089},
 		{Op: "EvkBlobBVPN15", BlobBytes: 4152360993},
 	}}

@@ -461,6 +461,18 @@ func (kg *KeyGenerator) GenRelinearizationKeyAt(sk *SecretKey, depth int) *Relin
 // is pooled; only the returned ciphertext is freshly allocated.
 func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinearizationKey) *Ciphertext {
 	sameLevelScale(a, b)
+	return ev.mulRelinUnchecked(a, b, rlk)
+}
+
+// mulRelinUnchecked is MulRelin without the equal-scale precondition: the
+// operands' levels must match, but their scales may differ (the result's
+// scale is still the product). EvalPoly's giant steps rely on this — the
+// quotient branch is deliberately evaluated at scale S·q/S_giant so the
+// product lands back on the schedule's target after rescaling.
+func (ev *Evaluator) mulRelinUnchecked(a, b *Ciphertext, rlk *RelinearizationKey) *Ciphertext {
+	if a.Level != b.Level {
+		panic("ckks: ciphertext level mismatch")
+	}
 	level := a.Level
 	if level > rlk.K.Level {
 		panic("ckks: ciphertext level exceeds relinearization-key depth")

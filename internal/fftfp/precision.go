@@ -85,29 +85,47 @@ func RoundTripPrecision(e *Embedder, mant int, seed uint64) PrecisionResult {
 	return r
 }
 
-// sinPolyEval evaluates the degree-15 Taylor surrogate of sin(2πx)/(2π) —
-// the EvalMod kernel shape — at reduced precision, component-wise on the
-// real parts. The coefficients are quantized into the context first, as
-// plaintext constants would be on the accelerator.
-func sinPolyEval(vals []Complex, ctx Ctx) {
-	// Taylor coefficients of sin(t)/ (t in radians), evaluated at t = 2πx
-	// via Horner. Degree 15 is what production CKKS bootstrap uses for the
-	// base sine approximation.
-	coeffs := []float64{}
+// SinTaylorCoeffs returns the monomial Taylor coefficients of sin(t)
+// through the given degree — the EvalMod kernel polynomial. Degree 15 is
+// what production CKKS bootstraps use for the base sine approximation.
+// Exported so the homomorphic EvalMod evaluates the identical polynomial
+// this file's surrogate is measured with.
+func SinTaylorCoeffs(degree int) []float64 {
+	coeffs := make([]float64, degree+1)
 	fact := 1.0
-	for k := 0; k <= 15; k++ {
+	for k := 0; k <= degree; k++ {
 		if k > 0 {
 			fact *= float64(k)
 		}
 		switch k % 4 {
 		case 1:
-			coeffs = append(coeffs, 1/fact)
+			coeffs[k] = 1 / fact
 		case 3:
-			coeffs = append(coeffs, -1/fact)
-		default:
-			coeffs = append(coeffs, 0)
+			coeffs[k] = -1 / fact
 		}
 	}
+	return coeffs
+}
+
+// SinSurrogate is the plaintext oracle for the homomorphic EvalMod: the
+// degree-`degree` Taylor surrogate (rng/2π)·sin(2πx/rng) at full float64
+// precision, evaluated with the same Horner shape as sinPolyEval.
+func SinSurrogate(x float64, degree int, rng float64) float64 {
+	coeffs := SinTaylorCoeffs(degree)
+	t := x * (2 * math.Pi) / rng
+	acc := 0.0
+	for k := len(coeffs) - 1; k >= 0; k-- {
+		acc = acc*t + coeffs[k]
+	}
+	return acc * rng / (2 * math.Pi)
+}
+
+// sinPolyEval evaluates the degree-15 Taylor surrogate of sin(2πx)/(2π) —
+// the EvalMod kernel shape — at reduced precision, component-wise on the
+// real parts. The coefficients are quantized into the context first, as
+// plaintext constants would be on the accelerator.
+func sinPolyEval(vals []Complex, ctx Ctx) {
+	coeffs := SinTaylorCoeffs(15)
 	for i := range vals {
 		t := ctx.round(vals[i].Re * (2 * math.Pi) / 8) // shrink into convergence range
 		acc := 0.0

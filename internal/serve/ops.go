@@ -112,6 +112,18 @@ func intParam(q url.Values, name string, def int) (int, error) {
 	return v, nil
 }
 
+func floatParam(q url.Values, name string, def float64) (float64, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: query param %s=%q is not a number", abcfhe.ErrInvalidConstant, name, s)
+	}
+	return v, nil
+}
+
 // rescaleResult applies the optional `rescale=n` suffix ops like mul
 // and dot accept (a mul consumes one rescale, two on double-scale
 // presets).
@@ -284,6 +296,78 @@ var opTable = map[string]opSpec{
 			}
 			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
 				out, err := sp.srv.SlotsToCoeffs(re, im, dft, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"evalpoly": {needsKeys: true, minParts: 2, maxParts: 2,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			coeffs, err := parseComplexLines(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			lo, err := floatParam(q, "lo", -1)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := floatParam(q, "hi", 1)
+			if err != nil {
+				return nil, err
+			}
+			level, err := intParam(q, "level", 0)
+			if err != nil {
+				return nil, err
+			}
+			// Compilation is plain coefficient arithmetic (no keys, no NTT)
+			// — cheap enough to run per request on the HTTP goroutine, and
+			// it surfaces every misuse as a 400 before queueing.
+			pe, err := sp.srv.NewPolyEval(coeffs, lo, hi, level)
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.EvalPoly(ct, pe, evk)
+				if err != nil {
+					return nil, err
+				}
+				return serialized(sp, out)
+			}, nil
+		}},
+	"evalmod": {needsKeys: true, minParts: 1, maxParts: 1,
+		build: func(sp *specServer, q url.Values, parts [][]byte) (runFunc, error) {
+			ct, err := sp.srv.DeserializeCiphertext(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			degree, err := intParam(q, "degree", 0)
+			if err != nil {
+				return nil, err
+			}
+			rng, err := floatParam(q, "range", 0)
+			if err != nil {
+				return nil, err
+			}
+			scaling, err := floatParam(q, "scaling", 0)
+			if err != nil {
+				return nil, err
+			}
+			level, err := intParam(q, "level", 0)
+			if err != nil {
+				return nil, err
+			}
+			em, err := sp.srv.NewEvalMod(abcfhe.EvalModConfig{
+				Degree: degree, Range: rng, Scaling: scaling, Level: level})
+			if err != nil {
+				return nil, err
+			}
+			return func(evk *abcfhe.EvaluationKeys) ([][]byte, error) {
+				out, err := sp.srv.EvalMod(ct, em, evk)
 				if err != nil {
 					return nil, err
 				}

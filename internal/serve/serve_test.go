@@ -208,6 +208,18 @@ func TestServeEndToEndByteIdentity(t *testing.T) {
 	reW, imW := ser(reRef, nil), ser(imRef, nil)
 	want["c2s"] = [][]byte{reW, imW}
 	want["s2c"] = [][]byte{ser(direct.SlotsToCoeffs(reRef, imRef, dft, dkeys))}
+	// Degree 1 is the ladder the Test preset's 4 limbs admit.
+	polyText := []byte("0.5\n0.25 -0.125\n")
+	pe, err := direct.NewPolyEval([]complex128{0.5, complex(0.25, -0.125)}, -1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want["evalpoly"] = [][]byte{ser(direct.EvalPoly(a, pe, dkeys))}
+	em, err := direct.NewEvalMod(abcfhe.EvalModConfig{Degree: 1, Range: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want["evalmod"] = [][]byte{ser(direct.EvalMod(b, em, dkeys))}
 
 	requests := map[string]struct {
 		query string
@@ -221,6 +233,8 @@ func TestServeEndToEndByteIdentity(t *testing.T) {
 		"expand":    {"", [][]byte{seeded}},
 		"c2s":       {"&levels=1", [][]byte{aw}},
 		"s2c":       {"&levels=1", [][]byte{reW, imW}},
+		"evalpoly":  {"&lo=-1&hi=1", [][]byte{aw, polyText}},
+		"evalmod":   {"&degree=1&range=8", [][]byte{bw}},
 	}
 	for op, req := range requests {
 		status, got, _ := h.eval(sr.Session, op, req.query, req.parts...)

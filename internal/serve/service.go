@@ -385,7 +385,7 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request) {
 	op := r.PathValue("op")
 	spec, ok := opTable[op]
 	if !ok {
-		writeErr(w, fmt.Errorf("%w: unknown op %q (mul, rotate, conjugate, innersum, dot, c2s, s2c, expand)",
+		writeErr(w, fmt.Errorf("%w: unknown op %q (mul, rotate, conjugate, innersum, dot, c2s, s2c, evalpoly, evalmod, expand)",
 			abcfhe.ErrMalformedWire, op))
 		return
 	}

@@ -124,6 +124,14 @@ type EvalKeyConfig struct {
 	// operations work on ciphertexts at level ≤ MaxLevel. 0 means full
 	// depth — fine with the hybrid gadget, hundreds of MB per rotation at
 	// the paper-scale presets under GadgetBV.
+	//
+	// Depth accounting for polynomial evaluation: Server.EvalPoly runs its
+	// relinearized products down to PolyEval.KeyLevel() — the compiled
+	// plan's input level minus one rescale — so MaxLevel must be at least
+	// that (a compiled plan reports it; Server.EvalPolyDepth budgets it
+	// ahead of compilation). An EvalMod after CoeffsToSlots needs the
+	// larger of the DFT's StartLevel and the EvalMod's KeyLevel — for the
+	// bootstrap-shaped chain that is simply the DFT StartLevel.
 	MaxLevel int
 	// Rotations lists the slot steps to generate keys for (normalized
 	// cyclically, deduplicated; 0 is the identity and is skipped).
